@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Shared helpers for the reproduction benches: run-scale knobs from the
+ * environment and the per-service chip-level run loop several figures
+ * share.
+ */
+
+#ifndef SIMR_BENCH_BENCH_COMMON_H
+#define SIMR_BENCH_BENCH_COMMON_H
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "common/table.h"
+#include "simr/cachestudy.h"
+#include "simr/runner.h"
+
+namespace simr::bench
+{
+
+/** Results of one service under one core configuration. */
+struct ChipRun
+{
+    TimingRun cpu;
+    TimingRun other;  ///< SMT8 / RPU / GPU, depending on the bench
+
+    double energyRatio() const
+    {
+        return other.reqPerJoule() / cpu.reqPerJoule();
+    }
+
+    double latencyRatio() const
+    {
+        return other.core.reqLatency.mean() / other.core.freqGhz /
+            (cpu.core.reqLatency.mean() / cpu.core.freqGhz);
+    }
+};
+
+/** Run every service under CPU + one comparison config. */
+inline std::map<std::string, ChipRun>
+runAllServices(const core::CoreConfig &other_cfg, const TimingOptions &opt)
+{
+    std::map<std::string, ChipRun> out;
+    for (const auto &name : svc::serviceNames()) {
+        auto svc = svc::buildService(name);
+        ChipRun run;
+        run.cpu = runTiming(*svc, core::makeCpuConfig(), opt);
+        run.other = runTiming(*svc, other_cfg, opt);
+        out.emplace(name, std::move(run));
+    }
+    return out;
+}
+
+/** Geometric mean. */
+inline double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double log_sum = 0;
+    for (double x : xs)
+        log_sum += std::log(x);
+    return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+} // namespace simr::bench
+
+#endif // SIMR_BENCH_BENCH_COMMON_H

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Extension: GPGPU workloads on the RPU (paper Section VI-D).
+ *
+ * The paper argues the RPU can run SPMD/HPC kernels with CPU-grade
+ * programmability at near-GPU efficiency: "GPUs will likely remain the
+ * most energy efficient for GPGPU workloads, but we claim RPUs will
+ * not be far behind." This bench runs a saxpy-like SPMD kernel on all
+ * three design points and reports requests/joule and latency relative
+ * to the CPU.
+ */
+
+#include "bench_common.h"
+
+using namespace simr;
+using namespace simr::bench;
+
+int
+main()
+{
+    RunScale scale = RunScale::fromEnv();
+    TimingOptions opt;
+    opt.requests = static_cast<int>(scale.timingRequests);
+    opt.seed = scale.seed;
+
+    auto svc = svc::buildService("gpgpu-saxpy");
+    auto cpu = runTiming(*svc, core::makeCpuConfig(), opt);
+    auto rpu = runTiming(*svc, core::makeRpuConfig(), opt);
+    auto gpu = runTiming(*svc, core::makeGpuConfig(), opt);
+
+    auto eff = measureEfficiency(*svc, batch::Policy::PerApiArgSize,
+                                 simt::ReconvPolicy::MinSpPc, 32,
+                                 static_cast<int>(scale.timingRequests),
+                                 scale.seed);
+    std::printf("SPMD kernel SIMT efficiency: %.1f%%\n\n",
+                eff.efficiency() * 100);
+
+    Table t("Extension: SPMD saxpy kernel across design points");
+    t.header({"design point", "req/joule", "vs CPU", "latency (us)",
+              "vs CPU"});
+    auto row = [&](const char *name, const TimingRun &r) {
+        t.row({name, Table::num(r.reqPerJoule(), 0),
+               Table::mult(r.reqPerJoule() / cpu.reqPerJoule()),
+               Table::num(r.core.meanLatencyUs(), 2),
+               Table::mult(r.core.meanLatencyUs() /
+                           cpu.core.meanLatencyUs())});
+    };
+    row("CPU", cpu);
+    row("RPU", rpu);
+    row("GPU-like", gpu);
+    t.print();
+
+    std::printf("paper VI-D: on SPMD code the RPU should close most of "
+                "the CPU-GPU efficiency gap while keeping OoO latency\n");
+    return 0;
+}

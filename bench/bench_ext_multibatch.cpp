@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Extension: multi-batch interleaving (paper Section III-A defers
+ * "hiding longer microsecond-scale latencies by interleaving multiple
+ * batches via hardware batch scheduling" to future work). This bench
+ * runs the RPU with 1, 2 and 4 concurrent hardware batch contexts and
+ * reports per-request latency and core throughput: throughput rises as
+ * idle memory-stall slots get filled, while per-batch latency degrades
+ * gracefully -- the trade the paper anticipates.
+ */
+
+#include "bench_common.h"
+
+using namespace simr;
+using namespace simr::bench;
+
+int
+main()
+{
+    RunScale scale = RunScale::fromEnv();
+    TimingOptions opt;
+    opt.requests = static_cast<int>(scale.timingRequests);
+    opt.seed = scale.seed;
+
+    Table t("Extension: RPU multi-batch interleaving (1/2/4 contexts)");
+    t.header({"service", "thr x1 (req/s)", "thr x2", "thr x4",
+              "lat x1 (us)", "lat x2", "lat x4"});
+    std::vector<double> gain2, gain4;
+    for (const auto &name : svc::serviceNames()) {
+        auto svc = svc::buildService(name);
+        double thr[3], lat[3];
+        int i = 0;
+        for (int contexts : {1, 2, 4}) {
+            auto cfg = core::makeRpuConfig();
+            cfg.smtThreads = contexts;
+            auto run = runTiming(*svc, cfg, opt);
+            thr[i] = run.core.throughputPerCore();
+            lat[i] = run.core.meanLatencyUs();
+            ++i;
+        }
+        gain2.push_back(thr[1] / thr[0]);
+        gain4.push_back(thr[2] / thr[0]);
+        t.row({name, Table::num(thr[0], 0), Table::num(thr[1], 0),
+               Table::num(thr[2], 0), Table::num(lat[0], 2),
+               Table::num(lat[1], 2), Table::num(lat[2], 2)});
+    }
+    t.row({"AVERAGE gain", "", Table::mult(geomean(gain2)),
+           Table::mult(geomean(gain4)), "", "", ""});
+    t.print();
+
+    std::printf("future-work direction from the paper: multi-batch "
+                "scheduling fills stall cycles at a latency cost\n");
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Extension: automatic batch-size tuning (paper Section III-B3 says
+ * providers tune offline; this bench runs our tuner and checks it
+ * re-derives the Fig. 15 rule -- batch 32 for most services, batch 8
+ * for the data-intensive leaves -- without hand configuration).
+ */
+
+#include "bench_common.h"
+
+#include "simr/tuner.h"
+
+using namespace simr;
+using namespace simr::bench;
+
+int
+main()
+{
+    RunScale scale = RunScale::fromEnv();
+
+    Table t("Extension: offline batch-size tuner vs hand-tuned traits");
+    t.header({"service", "tuner choice", "traits (hand)", "mpki@32",
+              "mpki@choice", "eff@choice"});
+    int agree = 0;
+    for (const auto &name : svc::serviceNames()) {
+        auto svc = svc::buildService(name);
+        tune::TunerConfig cfg;
+        cfg.seed = scale.seed;
+        auto r = tune::tuneBatchSize(*svc, cfg);
+
+        double mpki32 = 0, mpki_c = 0, eff_c = 0;
+        for (const auto &p : r.points) {
+            if (p.batchSize == 32)
+                mpki32 = p.mpki;
+            if (p.batchSize == r.chosenBatch) {
+                mpki_c = p.mpki;
+                eff_c = p.efficiency;
+            }
+        }
+        agree += r.chosenBatch == svc->traits().tunedBatch ? 1 : 0;
+        t.row({name, std::to_string(r.chosenBatch),
+               std::to_string(svc->traits().tunedBatch),
+               Table::num(mpki32, 1), Table::num(mpki_c, 1),
+               Table::pct(eff_c)});
+    }
+    t.print();
+    std::printf("tuner agrees with the hand-tuned configuration on "
+                "%d/14 services\n", agree);
+    return 0;
+}

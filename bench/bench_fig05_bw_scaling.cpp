@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Figure 5: off-chip DRAM bandwidth scaling and the on-chip thread
+ * count needed to use it, assuming the 2 GB/s-per-thread rule CPU
+ * vendors provision for. Paper point: DDR5 pushes sockets toward 256
+ * threads and DDR6/HBM toward 512+, far past what MIMD cores scale to
+ * -- the RPU's thread-density argument.
+ */
+
+#include "bench_common.h"
+
+using namespace simr;
+
+int
+main()
+{
+    struct Gen
+    {
+        const char *name;
+        double gbps;
+    };
+    const Gen gens[] = {
+        {"DDR4-3200 (8ch)", 200},
+        {"DDR5-4800 (8ch)", 307},
+        {"DDR5-7200 (10ch)", 576},
+        {"DDR6 (10ch)", 1100},
+        {"HBM2e (4 stacks)", 1600},
+    };
+
+    const double gb_per_thread = 2.0;
+    Table t("Figure 5: off-chip bandwidth and threads/socket to use it");
+    t.header({"memory generation", "BW (GB/s)",
+              "threads @2GB/s/thread", "64-thread MIMD sockets"});
+    for (const auto &g : gens) {
+        double threads = g.gbps / gb_per_thread;
+        t.row({g.name, Table::num(g.gbps, 0), Table::num(threads, 0),
+               Table::num(threads / 64.0, 1)});
+    }
+    t.print();
+
+    std::printf("paper: DDR5 needs ~256 threads/socket, DDR6/HBM ~512+; "
+                "SIMT thread aggregation scales there, MIMD does not\n");
+    return 0;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Figure 10: dynamic energy breakdown per pipeline stage when the
+ * microservices run on the scalar CPU. Paper result: frontend+OoO
+ * consumes ~73% on average; the SIMD-vectorized HDSearch-leaf (~39%)
+ * and Recommender-leaf (~60%) are the exceptions; memory ~20% average.
+ */
+
+#include "bench_common.h"
+
+using namespace simr;
+using namespace simr::bench;
+
+int
+main()
+{
+    RunScale scale = RunScale::fromEnv();
+    TimingOptions opt;
+    opt.requests = static_cast<int>(scale.timingRequests);
+    opt.seed = scale.seed;
+
+    Table t("Figure 10: CPU dynamic energy breakdown per pipeline stage");
+    t.header({"service", "frontend+OoO", "execution", "memory"});
+    std::vector<double> fe_s, ex_s, me_s;
+    for (const auto &name : svc::serviceNames()) {
+        auto svc = svc::buildService(name);
+        auto run = runTiming(*svc, core::makeCpuConfig(), opt);
+        double dyn = run.energy.dynamicTotal();
+        double fe = (run.energy.frontendOoo + run.energy.simtOverhead) /
+            dyn;
+        double ex = run.energy.execution / dyn;
+        double me = run.energy.memory / dyn;
+        fe_s.push_back(fe);
+        ex_s.push_back(ex);
+        me_s.push_back(me);
+        t.row({name, Table::pct(fe), Table::pct(ex), Table::pct(me)});
+    }
+    double n = static_cast<double>(fe_s.size());
+    double fe_avg = 0, ex_avg = 0, me_avg = 0;
+    for (size_t i = 0; i < fe_s.size(); ++i) {
+        fe_avg += fe_s[i] / n;
+        ex_avg += ex_s[i] / n;
+        me_avg += me_s[i] / n;
+    }
+    t.row({"AVERAGE", Table::pct(fe_avg), Table::pct(ex_avg),
+           Table::pct(me_avg)});
+    t.print();
+
+    std::printf("paper: ~73%% frontend+OoO average; HDSearch-leaf ~39%%, "
+                "Recommender-leaf ~60%%; memory ~20%%\n");
+    return 0;
+}

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks over the simulator's hot paths: the
+ * per-thread interpreter, the two lockstep reconvergence engines, the
+ * cache model and the MCU. These guard the simulation throughput that
+ * makes the full reproduction suite runnable on a laptop.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "mem/cache.h"
+#include "mem/coalescer.h"
+#include "simr/cachestudy.h"
+#include "simr/runner.h"
+
+using namespace simr;
+
+namespace
+{
+
+void
+BM_Interpreter(benchmark::State &state)
+{
+    auto svc = svc::buildService("memc");
+    auto reqs = genRequests(*svc, 64, 1);
+    mem::HeapAllocator alloc(mem::AllocPolicy::GlibcLike);
+    trace::ThreadState thread(svc->program());
+    uint64_t insts = 0;
+    for (auto _ : state) {
+        for (const auto &r : reqs) {
+            thread.reset(svc::makeThreadInit(*svc, r, 0, 0, alloc));
+            trace::StepResult sr;
+            while (!thread.done())
+                thread.step(sr);
+            insts += thread.dynCount();
+        }
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(insts));
+}
+BENCHMARK(BM_Interpreter);
+
+void
+BM_Lockstep(benchmark::State &state)
+{
+    auto policy = state.range(0) == 0 ? simt::ReconvPolicy::StackIpdom
+                                      : simt::ReconvPolicy::MinSpPc;
+    auto svc = svc::buildService("post");
+    uint64_t ops = 0;
+    for (auto _ : state) {
+        auto reqs = genRequests(*svc, 256, 1);
+        batch::BatchingServer server(batch::Policy::PerApiArgSize, 32);
+        simt::LockstepEngine engine(
+            svc->program(), policy, 32,
+            makeBatchProvider(*svc, server.formBatches(reqs)));
+        trace::DynOp op;
+        while (engine.next(op))
+            ++ops;
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(ops));
+}
+BENCHMARK(BM_Lockstep)->Arg(0)->Arg(1);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    mem::CacheConfig cfg;
+    cfg.sizeBytes = 256 * 1024;
+    cfg.assoc = 8;
+    cfg.banks = 8;
+    mem::Cache cache(cfg);
+    uint64_t x = 12345, n = 0;
+    for (auto _ : state) {
+        x = mix64(x);
+        benchmark::DoNotOptimize(cache.access(x % (1 << 22), (x & 4) != 0));
+        ++n;
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_McuCoalesce(benchmark::State &state)
+{
+    mem::AddressMap map(true, 32);
+    mem::Mcu mcu(map);
+    isa::StaticInst si;
+    si.op = isa::Op::Load;
+    trace::DynOp op;
+    op.si = &si;
+    op.mask = 0xffffffff;
+    op.accessSize = 8;
+    op.addrCount = 32;
+    for (int i = 0; i < 32; ++i) {
+        op.lane[i] = static_cast<uint8_t>(i);
+        op.addr[i] = mem::AddressSpace::stackTop(static_cast<uint64_t>(i))
+            - 64;
+    }
+    std::vector<mem::MemAccess> out;
+    uint64_t n = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mcu.coalesce(op, out));
+        ++n;
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_McuCoalesce);
+
+void
+BM_TimingCore(benchmark::State &state)
+{
+    auto svc = svc::buildService("urlshort");
+    TimingOptions opt;
+    opt.requests = 64;
+    uint64_t cycles = 0;
+    for (auto _ : state) {
+        auto run = runTiming(*svc, core::makeRpuConfig(), opt);
+        cycles += run.core.cycles;
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(cycles));
+}
+BENCHMARK(BM_TimingCore);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Sensitivity (Section V-A1 + Fig. 16): the SIMR-aware heap allocator
+ * vs the SIMR-agnostic (glibc-like) allocator on the banked L1.
+ * Staggering each thread's allocation start by one bank stride makes
+ * consecutive per-thread heap accesses conflict-free. Paper result:
+ * ~1.8x higher L1 throughput on the divergent-heap HDSearch.
+ */
+
+#include "bench_common.h"
+
+using namespace simr;
+using namespace simr::bench;
+
+int
+main()
+{
+    RunScale scale = RunScale::fromEnv();
+    TimingOptions opt;
+    opt.requests = static_cast<int>(scale.timingRequests);
+    opt.seed = scale.seed;
+
+    Table t("SIMR-aware vs glibc-like heap allocation (RPU, banked L1)");
+    t.header({"service", "conflict cyc (glibc)", "conflict cyc (simr)",
+              "cycles (glibc)", "cycles (simr)", "speedup"});
+    std::vector<double> speedups;
+    for (const auto &name : {"hdsearch-leaf", "search-leaf",
+                             "recommender-leaf", "hdsearch-mid"}) {
+        auto svc = svc::buildService(name);
+        // Full 32-wide batches make the bank pressure visible (the
+        // tuned batch of 8 hides it behind the compute chains).
+        TimingOptions agn = opt;
+        agn.alloc = mem::AllocPolicy::GlibcLike;
+        agn.batchOverride = 32;
+        TimingOptions aware = opt;
+        aware.alloc = mem::AllocPolicy::SimrAware;
+        aware.batchOverride = 32;
+        auto r_agn = runTiming(*svc, core::makeRpuConfig(), agn);
+        auto r_aw = runTiming(*svc, core::makeRpuConfig(), aware);
+        double s = static_cast<double>(r_agn.core.cycles) /
+            static_cast<double>(r_aw.core.cycles);
+        speedups.push_back(s);
+        t.row({name,
+               std::to_string(r_agn.core.hierStats.l1BankConflictCycles),
+               std::to_string(r_aw.core.hierStats.l1BankConflictCycles),
+               std::to_string(r_agn.core.cycles),
+               std::to_string(r_aw.core.cycles), Table::mult(s)});
+    }
+    t.row({"AVERAGE", "", "", "", "", Table::mult(geomean(speedups))});
+    t.print();
+
+    std::printf("paper: ~1.8x higher L1 throughput on divergent-heap "
+                "HDSearch with the SIMR-aware allocator\n");
+    return 0;
+}

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Sensitivity (Section V-A1): executing atomics at the shared L3
+ * (required by the RPU's relaxed coherence) instead of in the private
+ * L1. Paper result: no observable slowdown, because microservices
+ * execute few atomics per instruction (fine-grained locks, mostly
+ * uncontended).
+ */
+
+#include "bench_common.h"
+
+using namespace simr;
+using namespace simr::bench;
+
+int
+main()
+{
+    RunScale scale = RunScale::fromEnv();
+    TimingOptions opt;
+    opt.requests = static_cast<int>(scale.timingRequests);
+    opt.seed = scale.seed;
+
+    Table t("Atomics at L3 vs in private L1 (RPU)");
+    t.header({"service", "cycles atomics@L1", "cycles atomics@L3",
+              "slowdown"});
+    std::vector<double> slow;
+    for (const auto &name : svc::serviceNames()) {
+        auto svc = svc::buildService(name);
+        auto l3_cfg = core::makeRpuConfig();
+        auto l1_cfg = core::makeRpuConfig();
+        l1_cfg.mem.atomicsAtL3 = false;
+        auto r_l1 = runTiming(*svc, l1_cfg, opt);
+        auto r_l3 = runTiming(*svc, l3_cfg, opt);
+        double s = static_cast<double>(r_l3.core.cycles) /
+            static_cast<double>(r_l1.core.cycles);
+        slow.push_back(s);
+        t.row({name, std::to_string(r_l1.core.cycles),
+               std::to_string(r_l3.core.cycles), Table::mult(s)});
+    }
+    t.row({"AVERAGE", "", "", Table::mult(geomean(slow))});
+    t.print();
+
+    std::printf("paper: no slowdown from moving atomics to L3 (few "
+                "atomic locks per instruction)\n");
+    return 0;
+}

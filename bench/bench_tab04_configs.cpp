@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Table IV: the simulated configurations. Prints the key rows of every
+ * core flavour so runs are auditable against the paper.
+ */
+
+#include "bench_common.h"
+
+using namespace simr;
+
+namespace
+{
+
+std::string
+kb(uint64_t bytes)
+{
+    return std::to_string(bytes / 1024) + "KB";
+}
+
+} // namespace
+
+int
+main()
+{
+    Table t("Table IV: simulated configurations");
+    t.header({"metric", "CPU", "CPU-SMT8", "RPU", "GPU-like"});
+
+    auto cpu = core::makeCpuConfig();
+    auto smt = core::makeSmt8Config();
+    auto rpu = core::makeRpuConfig();
+    auto gpu = core::makeGpuConfig();
+    auto row = [&](const char *name, auto get) {
+        t.row({name, get(cpu), get(smt), get(rpu), get(gpu)});
+    };
+
+    row("cores", [](const core::CoreConfig &c) {
+        return std::to_string(c.chipCores);
+    });
+    row("threads/core", [](const core::CoreConfig &c) {
+        return std::to_string(c.smtThreads * c.batchWidth);
+    });
+    row("SIMT lanes", [](const core::CoreConfig &c) {
+        return std::to_string(c.lanes);
+    });
+    row("issue width", [](const core::CoreConfig &c) {
+        return std::to_string(c.issueWidth);
+    });
+    row("ROB entries", [](const core::CoreConfig &c) {
+        return std::to_string(c.robEntries);
+    });
+    row("in-order", [](const core::CoreConfig &c) {
+        return std::string(c.inOrder ? "yes" : "no");
+    });
+    row("freq (GHz)", [](const core::CoreConfig &c) {
+        return Table::num(c.freqGhz, 1);
+    });
+    row("ALU latency", [](const core::CoreConfig &c) {
+        return std::to_string(c.aluLat);
+    });
+    row("L1D", [](const core::CoreConfig &c) {
+        return kb(c.mem.l1.sizeBytes) + " x" +
+            std::to_string(c.mem.l1.banks) + "b " +
+            std::to_string(c.mem.l1HitLatency) + "cyc";
+    });
+    row("L1 TLB entries", [](const core::CoreConfig &c) {
+        return std::to_string(c.mem.tlb.entries);
+    });
+    row("L2", [](const core::CoreConfig &c) {
+        return kb(c.mem.l2.sizeBytes) + " " +
+            std::to_string(c.mem.l2HitLatency) + "cyc";
+    });
+    row("interconnect", [](const core::CoreConfig &c) {
+        return std::string(c.mem.noc.kind == mem::NocKind::Mesh ?
+                           "mesh" : "crossbar");
+    });
+    row("atomics", [](const core::CoreConfig &c) {
+        return std::string(c.mem.atomicsAtL3 ? "at L3" : "in L1");
+    });
+    row("DRAM B/cyc/core", [](const core::CoreConfig &c) {
+        return Table::num(c.mem.dram.bytesPerCycle *
+                          c.mem.dram.channels, 1);
+    });
+    t.print();
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Table V: per-component area and peak power at 7nm for the CPU core
+ * and the RPU core, plus chip totals. Paper results: the RPU core is
+ * ~6.3x the CPU core's area and ~4.5x its peak power while holding 32x
+ * the threads; RPU-only structures cost ~11.8% of the core; thread
+ * density improves ~5.2x at the chip level.
+ */
+
+#include "bench_common.h"
+
+#include "energy/area.h"
+
+using namespace simr;
+using namespace simr::bench;
+
+int
+main()
+{
+    auto cpu_cfg = core::makeCpuConfig();
+    auto rpu_cfg = core::makeRpuConfig();
+    auto cpu = energy::estimateCore(cpu_cfg);
+    auto rpu = energy::estimateCore(rpu_cfg);
+
+    Table t("Table V: per-component area and peak power (7nm)");
+    t.header({"component", "CPU mm2", "CPU %", "CPU W", "RPU mm2",
+              "RPU %", "RPU W"});
+    double ca = cpu.coreAreaMm2(), ra = rpu.coreAreaMm2();
+    for (const auto &rc : rpu.comps) {
+        const energy::ComponentAP *cc = nullptr;
+        for (const auto &c : cpu.comps)
+            if (c.name == rc.name)
+                cc = &c;
+        t.row({rc.name,
+               cc ? Table::num(cc->areaMm2, 2) : "-",
+               cc ? Table::pct(cc->areaMm2 / ca) : "-",
+               cc ? Table::num(cc->peakWatts, 2) : "-",
+               Table::num(rc.areaMm2, 2),
+               Table::pct(rc.areaMm2 / ra),
+               Table::num(rc.peakWatts, 2)});
+    }
+    t.row({"TOTAL core", Table::num(ca, 2), "100.0%",
+           Table::num(cpu.corePeakWatts(), 2), Table::num(ra, 2),
+           "100.0%", Table::num(rpu.corePeakWatts(), 2)});
+    t.print();
+
+    auto cpu_chip = energy::estimateChip(cpu_cfg);
+    auto rpu_chip = energy::estimateChip(rpu_cfg);
+    Table c("Table V (chip level)");
+    c.header({"metric", "CPU chip", "RPU chip", "ratio"});
+    c.row({"cores", std::to_string(cpu_chip.cores),
+           std::to_string(rpu_chip.cores), ""});
+    c.row({"threads", std::to_string(cpu_chip.cores),
+           std::to_string(rpu_chip.cores * rpu_cfg.batchWidth),
+           Table::mult(rpu_chip.cores * rpu_cfg.batchWidth /
+                       static_cast<double>(cpu_chip.cores))});
+    c.row({"area (mm2)", Table::num(cpu_chip.chipAreaMm2(), 1),
+           Table::num(rpu_chip.chipAreaMm2(), 1),
+           Table::mult(rpu_chip.chipAreaMm2() /
+                       cpu_chip.chipAreaMm2())});
+    c.row({"peak power (W)", Table::num(cpu_chip.chipPeakWatts(), 1),
+           Table::num(rpu_chip.chipPeakWatts(), 1),
+           Table::mult(rpu_chip.chipPeakWatts() /
+                       cpu_chip.chipPeakWatts())});
+    double cpu_density = cpu_chip.cores / cpu_chip.chipAreaMm2();
+    double rpu_density = rpu_chip.cores * rpu_cfg.batchWidth /
+        rpu_chip.chipAreaMm2();
+    c.row({"threads/mm2", Table::num(cpu_density, 3),
+           Table::num(rpu_density, 3),
+           Table::mult(rpu_density / cpu_density)});
+    c.print();
+
+    std::printf("paper: RPU core ~6.3x area / ~4.5x power for 32x "
+                "threads; RPU-only structures ~11.8%% of core; ~5.2x "
+                "thread density\n");
+    return 0;
+}

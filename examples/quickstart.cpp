@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Quickstart: the 60-second tour of the SIMR library.
+ *
+ * Builds one microservice (the memcached backend), generates client
+ * requests, batches them with the SIMR-aware server, measures SIMT
+ * efficiency under both reconvergence schemes, and then runs the same
+ * requests through the scalar-CPU and RPU timing models to compare
+ * service latency and requests/joule.
+ *
+ * Run:  ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "simr/runner.h"
+
+using namespace simr;
+
+int
+main()
+{
+    // 1. Build a microservice (program + request model).
+    auto svc = svc::buildService("memc");
+    std::printf("service '%s': %zu static instructions, %d APIs\n",
+                svc->traits().name.c_str(),
+                svc->program().staticInstCount(), svc->traits().numApis);
+
+    // 2. Measure SIMT efficiency under the three batching policies.
+    Table eff("SIMT efficiency of 'memc' (batch = 32, 2400 requests)");
+    eff.header({"policy", "stack-IPDOM", "MinSP-PC"});
+    for (auto policy : {batch::Policy::Naive, batch::Policy::PerApi,
+                        batch::Policy::PerApiArgSize}) {
+        auto ideal = measureEfficiency(*svc, policy,
+                                       simt::ReconvPolicy::StackIpdom,
+                                       32, 2400, 1);
+        auto heur = measureEfficiency(*svc, policy,
+                                      simt::ReconvPolicy::MinSpPc,
+                                      32, 2400, 1);
+        eff.row({batch::policyName(policy),
+                 Table::pct(ideal.efficiency()),
+                 Table::pct(heur.efficiency())});
+    }
+    eff.print();
+
+    // 3. Chip-level comparison: scalar CPU vs RPU.
+    TimingOptions opt;
+    opt.requests = 256;
+    auto cpu = runTiming(*svc, core::makeCpuConfig(), opt);
+    auto rpu = runTiming(*svc, core::makeRpuConfig(), opt);
+
+    Table chip("CPU vs RPU on 'memc'");
+    chip.header({"metric", "cpu", "rpu", "rpu/cpu"});
+    chip.row({"service latency (us)",
+              Table::num(cpu.core.meanLatencyUs()),
+              Table::num(rpu.core.meanLatencyUs()),
+              Table::mult(rpu.core.meanLatencyUs() /
+                          cpu.core.meanLatencyUs())});
+    chip.row({"requests/joule (core)",
+              Table::num(cpu.reqPerJoule(), 0),
+              Table::num(rpu.reqPerJoule(), 0),
+              Table::mult(rpu.reqPerJoule() / cpu.reqPerJoule())});
+    chip.row({"IPC (scalar insts/cycle)",
+              Table::num(cpu.core.ipc()),
+              Table::num(rpu.core.ipc()),
+              Table::mult(rpu.core.ipc() / cpu.core.ipc())});
+    chip.row({"L1 accesses",
+              Table::num(static_cast<double>(cpu.core.l1Stats.accesses), 0),
+              Table::num(static_cast<double>(rpu.core.l1Stats.accesses), 0),
+              Table::mult(
+                  static_cast<double>(rpu.core.l1Stats.accesses) /
+                  static_cast<double>(cpu.core.l1Stats.accesses))});
+    chip.print();
+
+    std::printf("quickstart done.\n");
+    return 0;
+}

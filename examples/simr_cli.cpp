@@ -1,0 +1,227 @@
+/**
+ * @file
+ * simr_cli: run any experiment from the command line.
+ *
+ *   simr_cli list
+ *   simr_cli efficiency <service> [--policy naive|api|arg]
+ *            [--reconv stack|minsp] [--batch N] [--requests N]
+ *   simr_cli timing <service> --config cpu|smt8|rpu|gpu [--requests N]
+ *            [--alloc glibc|simr] [--batch N]
+ *   simr_cli tune <service>
+ *   simr_cli cluster [--qps N] [--rpu] [--nosplit]
+ *
+ * Exit codes: 0 success, 1 usage error, 2 unknown service.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/table.h"
+#include "simr/cachestudy.h"
+#include "simr/runner.h"
+#include "simr/tuner.h"
+#include "sys/uqsim.h"
+
+using namespace simr;
+
+namespace
+{
+
+/** Fetch "--name value" from argv; returns fallback when absent. */
+std::string
+flag(int argc, char **argv, const char *name, const std::string &fallback)
+{
+    for (int i = 0; i + 1 < argc; ++i)
+        if (std::strcmp(argv[i], name) == 0)
+            return argv[i + 1];
+    return fallback;
+}
+
+bool
+has(int argc, char **argv, const char *name)
+{
+    for (int i = 0; i < argc; ++i)
+        if (std::strcmp(argv[i], name) == 0)
+            return true;
+    return false;
+}
+
+int
+usage()
+{
+    std::fprintf(stderr,
+        "usage:\n"
+        "  simr_cli list\n"
+        "  simr_cli efficiency <service> [--policy naive|api|arg]\n"
+        "           [--reconv stack|minsp] [--batch N] [--requests N]\n"
+        "  simr_cli timing <service> --config cpu|smt8|rpu|gpu\n"
+        "           [--requests N] [--alloc glibc|simr] [--batch N]\n"
+        "  simr_cli tune <service>\n"
+        "  simr_cli cluster [--qps N] [--rpu] [--nosplit]\n");
+    return 1;
+}
+
+int
+cmdList()
+{
+    Table t("available services");
+    t.header({"name", "group", "APIs", "max arg", "tuned batch"});
+    for (const auto &n : svc::serviceNames()) {
+        auto s = svc::buildService(n);
+        t.row({n, s->traits().group,
+               std::to_string(s->traits().numApis),
+               std::to_string(s->traits().maxArgLen),
+               std::to_string(s->traits().tunedBatch)});
+    }
+    t.print();
+    std::printf("plus the extension workload: gpgpu-saxpy\n");
+    return 0;
+}
+
+int
+cmdEfficiency(const std::string &name, int argc, char **argv)
+{
+    auto svc = svc::buildService(name);
+    if (!svc)
+        return 2;
+
+    std::string pol = flag(argc, argv, "--policy", "arg");
+    batch::Policy policy = pol == "naive" ? batch::Policy::Naive :
+        pol == "api" ? batch::Policy::PerApi :
+        batch::Policy::PerApiArgSize;
+    std::string rc = flag(argc, argv, "--reconv", "minsp");
+    auto reconv = rc == "stack" ? simt::ReconvPolicy::StackIpdom
+                                : simt::ReconvPolicy::MinSpPc;
+    int width = std::stoi(flag(argc, argv, "--batch", "32"));
+    int n = std::stoi(flag(argc, argv, "--requests", "2400"));
+
+    auto r = measureEfficiency(*svc, policy, reconv, width, n, 42);
+    Table t("SIMT efficiency: " + name);
+    t.header({"metric", "value"});
+    t.row({"policy", batch::policyName(policy)});
+    t.row({"reconvergence", rc == "stack" ? "stack-IPDOM" : "MinSP-PC"});
+    t.row({"batch width", std::to_string(width)});
+    t.row({"requests", std::to_string(n)});
+    t.row({"SIMT efficiency", Table::pct(r.efficiency())});
+    t.row({"batches", std::to_string(r.stats.batches)});
+    t.row({"divergence events", std::to_string(r.stats.divergeEvents)});
+    t.row({"path switches", std::to_string(r.stats.pathSwitches)});
+    t.print();
+    return 0;
+}
+
+int
+cmdTiming(const std::string &name, int argc, char **argv)
+{
+    auto svc = svc::buildService(name);
+    if (!svc)
+        return 2;
+
+    std::string cfg_name = flag(argc, argv, "--config", "rpu");
+    core::CoreConfig cfg;
+    if (cfg_name == "cpu")
+        cfg = core::makeCpuConfig();
+    else if (cfg_name == "smt8")
+        cfg = core::makeSmt8Config();
+    else if (cfg_name == "rpu")
+        cfg = core::makeRpuConfig();
+    else if (cfg_name == "gpu")
+        cfg = core::makeGpuConfig();
+    else
+        return usage();
+
+    TimingOptions opt;
+    opt.requests = std::stoi(flag(argc, argv, "--requests", "512"));
+    opt.alloc = flag(argc, argv, "--alloc", "simr") == "glibc" ?
+        mem::AllocPolicy::GlibcLike : mem::AllocPolicy::SimrAware;
+    opt.batchOverride = std::stoi(flag(argc, argv, "--batch", "0"));
+
+    auto run = runTiming(*svc, cfg, opt);
+    Table t("timing: " + name + " on " + cfg.name);
+    t.header({"metric", "value"});
+    t.row({"requests", std::to_string(run.core.requests)});
+    t.row({"cycles", std::to_string(run.core.cycles)});
+    t.row({"IPC (scalar)", Table::num(run.core.ipc(), 2)});
+    t.row({"mean latency (us)",
+           Table::num(run.core.meanLatencyUs(), 3)});
+    t.row({"p99 latency (us)",
+           Table::num(run.core.reqLatency.percentile(0.99) /
+                      (run.core.freqGhz * 1e3), 3)});
+    t.row({"L1 accesses", std::to_string(run.core.l1Stats.accesses)});
+    t.row({"L1 miss rate", Table::pct(run.core.l1Stats.missRate())});
+    t.row({"BP accuracy", Table::pct(run.core.bpStats.accuracy())});
+    t.row({"requests/joule", Table::num(run.reqPerJoule(), 0)});
+    t.row({"frontend energy share",
+           Table::pct(run.energy.frontendShare())});
+    t.print();
+    return 0;
+}
+
+int
+cmdTune(const std::string &name)
+{
+    auto svc = svc::buildService(name);
+    if (!svc)
+        return 2;
+    auto r = tune::tuneBatchSize(*svc);
+    Table t("batch tuning: " + name);
+    t.header({"batch", "MPKI", "SIMT eff", "acceptable"});
+    for (const auto &p : r.points)
+        t.row({std::to_string(p.batchSize), Table::num(p.mpki, 1),
+               Table::pct(p.efficiency), p.acceptable ? "yes" : "no"});
+    t.print();
+    std::printf("chosen batch size: %d\n", r.chosenBatch);
+    return 0;
+}
+
+int
+cmdCluster(int argc, char **argv)
+{
+    sys::SysConfig cfg;
+    cfg.qps = std::stod(flag(argc, argv, "--qps", "10000"));
+    cfg.rpu = has(argc, argv, "--rpu");
+    cfg.batchSplit = !has(argc, argv, "--nosplit");
+    auto r = sys::runUserScenario(cfg);
+    Table t("cluster run");
+    t.header({"metric", "value"});
+    t.row({"system", cfg.rpu ? (cfg.batchSplit ? "RPU w/ split"
+                                               : "RPU w/o split")
+                             : "CPU"});
+    t.row({"offered QPS", Table::num(r.offeredQps, 0)});
+    t.row({"achieved QPS", Table::num(r.achievedQps, 0)});
+    t.row({"mean latency (us)", Table::num(r.meanUs(), 0)});
+    t.row({"p99 latency (us)", Table::num(r.p99Us(), 0)});
+    t.print();
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    std::string cmd = argv[1];
+    if (cmd == "list")
+        return cmdList();
+    if (cmd == "cluster")
+        return cmdCluster(argc, argv);
+    if (argc < 3)
+        return usage();
+    std::string service = argv[2];
+    int rc = 1;
+    if (cmd == "efficiency")
+        rc = cmdEfficiency(service, argc, argv);
+    else if (cmd == "timing")
+        rc = cmdTiming(service, argc, argv);
+    else if (cmd == "tune")
+        rc = cmdTune(service);
+    else
+        return usage();
+    if (rc == 2)
+        std::fprintf(stderr, "unknown service '%s' (simr_cli list)\n",
+                     service.c_str());
+    return rc;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * End-to-end social-network scenario (paper Fig. 3 + Fig. 22).
+ *
+ * Walks the User path of the social-network graph -- WebServer -> User
+ * -> McRouter -> Memcached, with misses falling through to Storage --
+ * on a CPU-based cluster and an RPU-based cluster at equal power, with
+ * and without system-level batch splitting, and reports the latency
+ * curves and the maximum throughput at acceptable QoS.
+ *
+ * Run:  ./build/examples/social_network [qps_thousands...]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "common/table.h"
+#include "sys/uqsim.h"
+
+using namespace simr;
+
+int
+main(int argc, char **argv)
+{
+    std::vector<double> loads = {5, 15, 30, 60, 90};
+    if (argc > 1) {
+        loads.clear();
+        for (int i = 1; i < argc; ++i)
+            loads.push_back(std::atof(argv[i]));
+    }
+
+    std::printf("social-network User scenario: WebServer -> User -> "
+                "McRouter -> Memcached (90%% hit) / Storage (1ms)\n\n");
+
+    Table t("end-to-end latency");
+    t.header({"system", "offered kQPS", "avg (us)", "p99 (us)"});
+    struct Variant
+    {
+        const char *label;
+        bool rpu;
+        bool split;
+    };
+    for (const auto &v :
+         {Variant{"CPU cluster", false, true},
+          Variant{"RPU + batch splitting", true, true},
+          Variant{"RPU, no splitting", true, false}}) {
+        for (double kqps : loads) {
+            sys::SysConfig cfg;
+            cfg.qps = kqps * 1000.0;
+            cfg.rpu = v.rpu;
+            cfg.batchSplit = v.split;
+            auto r = sys::runUserScenario(cfg);
+            t.row({v.label, Table::num(kqps, 0),
+                   Table::num(r.meanUs(), 0), Table::num(r.p99Us(), 0)});
+        }
+    }
+    t.print();
+
+    std::printf("Things to try:\n"
+                "  - raise the load until each system's tail explodes;\n"
+                "  - lower memcHitRate in sys/uqsim.h and watch batch\n"
+                "    splitting become load-bearing;\n"
+                "  - compare against bench_fig22_end_to_end.\n");
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The SIMR-aware batching server (paper Section III-B1).
+ *
+ * Incoming requests are grouped into batches that the RPU executes in
+ * lockstep. Three policies, matching Figs. 4 and 11:
+ *
+ *  - Naive: batch purely by arrival order.
+ *  - PerApi: group requests that invoke the same API/RPC method, so the
+ *    batch executes the same source code.
+ *  - PerApiArgSize: additionally group by argument length, so loop trip
+ *    counts match across the batch.
+ *
+ * Grouping preserves arrival order within a group. Groups that do not
+ * fill a whole batch by the end of the arrival window are emitted as
+ * partial batches (the timeout case), which execute with a partial mask.
+ */
+
+#ifndef SIMR_BATCHING_POLICY_H
+#define SIMR_BATCHING_POLICY_H
+
+#include <cstdint>
+#include <vector>
+
+#include "services/request.h"
+
+namespace simr::batch
+{
+
+/** Batching policy selector. */
+enum class Policy : uint8_t {
+    Naive,
+    PerApi,
+    PerApiArgSize,
+};
+
+/** Printable policy name. */
+const char *policyName(Policy p);
+
+/** One formed batch. */
+struct Batch
+{
+    std::vector<svc::Request> requests;
+
+    int size() const { return static_cast<int>(requests.size()); }
+};
+
+/** Groups requests into batches under a policy. */
+class BatchingServer
+{
+  public:
+    BatchingServer(Policy policy, int batch_size)
+        : policy_(policy), batchSize_(batch_size)
+    {}
+
+    /**
+     * Form batches from an arrival-ordered request stream.
+     * Every input request appears in exactly one output batch.
+     */
+    std::vector<Batch> formBatches(
+        const std::vector<svc::Request> &arrivals) const;
+
+    Policy policy() const { return policy_; }
+    int batchSize() const { return batchSize_; }
+
+  private:
+    /** Grouping key for a request under this policy. */
+    uint64_t keyOf(const svc::Request &r) const;
+
+    Policy policy_;
+    int batchSize_;
+};
+
+} // namespace simr::batch
+
+#endif // SIMR_BATCHING_POLICY_H

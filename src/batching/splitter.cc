@@ -1,0 +1,38 @@
+#include "batching/splitter.h"
+
+namespace simr::batch
+{
+
+SplitResult
+splitBatch(const Batch &b, const BlockPredicate &blocks)
+{
+    SplitResult r;
+    for (const auto &req : b.requests) {
+        if (blocks && blocks(req))
+            r.blocked.requests.push_back(req);
+        else
+            r.fast.requests.push_back(req);
+    }
+    return r;
+}
+
+std::vector<Batch>
+rebatchOrphans(const std::vector<Batch> &orphans, int batch_size)
+{
+    std::vector<Batch> out;
+    Batch cur;
+    for (const auto &b : orphans) {
+        for (const auto &req : b.requests) {
+            cur.requests.push_back(req);
+            if (cur.size() == batch_size) {
+                out.push_back(std::move(cur));
+                cur = Batch();
+            }
+        }
+    }
+    if (cur.size() > 0)
+        out.push_back(std::move(cur));
+    return out;
+}
+
+} // namespace simr::batch

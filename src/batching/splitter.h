@@ -1,0 +1,49 @@
+/**
+ * @file
+ * System-level batch splitting (paper Section III-B5, Fig. 17).
+ *
+ * When one side of a divergent path blocks on a millisecond-scale event
+ * (storage, remote RPC), waiting for reconvergence would drag every
+ * request in the batch up to the slow path's latency. The splitter
+ * separates a batch into a fast sub-batch that continues past the
+ * reconvergence point and a blocked sub-batch whose state is switched
+ * out; blocked orphans are re-batched at the storage tier. The decision
+ * input here is a per-request predicate (hardware timeout or software
+ * hint in the paper); the queueing consequences are modelled in
+ * src/sys.
+ */
+
+#ifndef SIMR_BATCHING_SPLITTER_H
+#define SIMR_BATCHING_SPLITTER_H
+
+#include <functional>
+
+#include "batching/policy.h"
+
+namespace simr::batch
+{
+
+/** Result of splitting one batch. */
+struct SplitResult
+{
+    Batch fast;      ///< requests that continue immediately
+    Batch blocked;   ///< requests context-switched out on the slow path
+};
+
+/** Predicate: true if this request takes the long-latency path. */
+using BlockPredicate = std::function<bool(const svc::Request &)>;
+
+/** Split a batch into fast / blocked sub-batches. */
+SplitResult splitBatch(const Batch &b, const BlockPredicate &blocks);
+
+/**
+ * Re-batch blocked orphans from many splits into full batches (the
+ * paper re-forms them at the storage microservice so they execute with
+ * a full SIMT mask once unblocked).
+ */
+std::vector<Batch> rebatchOrphans(const std::vector<Batch> &orphans,
+                                  int batch_size);
+
+} // namespace simr::batch
+
+#endif // SIMR_BATCHING_SPLITTER_H

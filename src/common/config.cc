@@ -1,0 +1,46 @@
+#include "common/config.h"
+
+#include <cstdlib>
+
+namespace simr
+{
+
+int64_t
+envInt(const char *name, int64_t fallback)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return fallback;
+    return std::strtoll(v, nullptr, 10);
+}
+
+double
+envDouble(const char *name, double fallback)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return fallback;
+    return std::strtod(v, nullptr);
+}
+
+std::string
+envStr(const char *name, const std::string &fallback)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return fallback;
+    return v;
+}
+
+RunScale
+RunScale::fromEnv()
+{
+    RunScale s;
+    s.requests = envInt("SIMR_REQUESTS", s.requests);
+    s.timingRequests = envInt("SIMR_TIMING_REQUESTS", s.timingRequests);
+    s.seed = static_cast<uint64_t>(
+        envInt("SIMR_SEED", static_cast<int64_t>(s.seed)));
+    return s;
+}
+
+} // namespace simr

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Deterministic random number generation for workload synthesis.
+ *
+ * Every stochastic element of the reproduction (request payloads, arrival
+ * processes, cache-warming noise) draws from Rng so that runs are exactly
+ * repeatable given a seed. The generator is xoshiro256**, which is fast,
+ * has a 256-bit state and passes BigCrush; simulation quality does not
+ * depend on cryptographic strength.
+ */
+
+#ifndef SIMR_COMMON_RNG_H
+#define SIMR_COMMON_RNG_H
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace simr
+{
+
+/** xoshiro256** pseudo random number generator with handy distributions. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x5eed5117ULL) { reseed(seed); }
+
+    /** Re-initialize state from a 64-bit seed via splitmix64. */
+    void
+    reseed(uint64_t seed)
+    {
+        // splitmix64 to expand the seed into 4 state words.
+        auto next = [&seed]() {
+            seed += 0x9e3779b97f4a7c15ULL;
+            uint64_t z = seed;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            return z ^ (z >> 31);
+        };
+        for (auto &w : state_)
+            w = next();
+    }
+
+    /** Uniform 64-bit draw. */
+    uint64_t
+    next()
+    {
+        auto rotl = [](uint64_t x, int k) {
+            return (x << k) | (x >> (64 - k));
+        };
+        const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). bound must be > 0. */
+    uint64_t
+    below(uint64_t bound)
+    {
+        // Lemire's multiply-shift rejection-free approximation is fine
+        // for simulation purposes.
+        __uint128_t m = static_cast<__uint128_t>(next()) * bound;
+        return static_cast<uint64_t>(m >> 64);
+    }
+
+    /** Uniform integer in the closed interval [lo, hi]. */
+    int64_t
+    range(int64_t lo, int64_t hi)
+    {
+        if (hi <= lo)
+            return lo;
+        return lo + static_cast<int64_t>(
+            below(static_cast<uint64_t>(hi - lo + 1)));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability p of true. */
+    bool chance(double p) { return uniform() < p; }
+
+    /** Exponential variate with the given mean (for Poisson arrivals). */
+    double
+    exponential(double mean)
+    {
+        double u = uniform();
+        if (u <= 0.0)
+            u = 0x1.0p-53;
+        return -mean * std::log(u);
+    }
+
+    /** Approximately normal variate (Irwin-Hall sum of 12 uniforms). */
+    double
+    normal(double mean, double stddev)
+    {
+        double s = 0.0;
+        for (int i = 0; i < 12; ++i)
+            s += uniform();
+        return mean + (s - 6.0) * stddev;
+    }
+
+    /**
+     * Zipf-like rank draw in [0, n): popular ranks dominate the mass.
+     * Used to model key popularity in the key-value workloads.
+     *
+     * @param n number of distinct items
+     * @param s skew exponent (s=0 is uniform; ~1 is classic Zipf)
+     */
+    uint64_t
+    zipf(uint64_t n, double s)
+    {
+        if (n <= 1)
+            return 0;
+        // Inverse-CDF approximation of a bounded Pareto distribution,
+        // which matches the Zipf head closely and is O(1) per draw.
+        double u = uniform();
+        if (s <= 0.01)
+            return below(n);
+        double one_minus_s = 1.0 - s;
+        double nn = static_cast<double>(n);
+        double x;
+        if (std::fabs(one_minus_s) < 1e-9) {
+            x = std::exp(u * std::log(nn));
+        } else {
+            x = std::pow(u * (std::pow(nn, one_minus_s) - 1.0) + 1.0,
+                         1.0 / one_minus_s);
+        }
+        uint64_t r = static_cast<uint64_t>(x) - 0;
+        if (r >= n)
+            r = n - 1;
+        return r;
+    }
+
+    /** Fisher-Yates shuffle of a vector. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &v)
+    {
+        for (size_t i = v.size(); i > 1; --i) {
+            size_t j = static_cast<size_t>(below(i));
+            std::swap(v[i - 1], v[j]);
+        }
+    }
+
+  private:
+    uint64_t state_[4] = {};
+};
+
+/** Stateless 64-bit mix, for hashing request keys into addresses. */
+inline uint64_t
+mix64(uint64_t x)
+{
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ULL;
+    x ^= x >> 33;
+    return x;
+}
+
+} // namespace simr
+
+#endif // SIMR_COMMON_RNG_H

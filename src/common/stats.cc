@@ -1,0 +1,28 @@
+#include "common/stats.h"
+
+#include <cmath>
+
+namespace simr
+{
+
+double
+Histogram::percentile(double p) const
+{
+    if (samples_.empty())
+        return 0.0;
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+    if (p <= 0.0)
+        return samples_.front();
+    if (p >= 1.0)
+        return samples_.back();
+    double pos = p * static_cast<double>(samples_.size() - 1);
+    size_t lo = static_cast<size_t>(pos);
+    size_t hi = std::min(lo + 1, samples_.size() - 1);
+    double frac = pos - static_cast<double>(lo);
+    return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+} // namespace simr

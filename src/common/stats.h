@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Lightweight statistics containers used across the simulator: running
+ * scalar statistics, percentile histograms, and named counter groups that
+ * the energy model and benches consume.
+ */
+
+#ifndef SIMR_COMMON_STATS_H
+#define SIMR_COMMON_STATS_H
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace simr
+{
+
+/** Streaming mean / min / max / variance over double samples. */
+class RunningStat
+{
+  public:
+    void
+    add(double x)
+    {
+        ++n_;
+        if (n_ == 1) {
+            min_ = max_ = x;
+            mean_ = x;
+            m2_ = 0.0;
+        } else {
+            min_ = std::min(min_, x);
+            max_ = std::max(max_, x);
+            double delta = x - mean_;
+            mean_ += delta / static_cast<double>(n_);
+            m2_ += delta * (x - mean_);
+        }
+        sum_ += x;
+    }
+
+    uint64_t count() const { return n_; }
+    double sum() const { return sum_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+
+    double
+    variance() const
+    {
+        return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+    }
+
+    void
+    merge(const RunningStat &o)
+    {
+        if (o.n_ == 0)
+            return;
+        if (n_ == 0) {
+            *this = o;
+            return;
+        }
+        double delta = o.mean_ - mean_;
+        uint64_t n = n_ + o.n_;
+        mean_ += delta * static_cast<double>(o.n_) / static_cast<double>(n);
+        m2_ += o.m2_ + delta * delta *
+            static_cast<double>(n_) * static_cast<double>(o.n_) /
+            static_cast<double>(n);
+        min_ = std::min(min_, o.min_);
+        max_ = std::max(max_, o.max_);
+        sum_ += o.sum_;
+        n_ = n;
+    }
+
+  private:
+    uint64_t n_ = 0;
+    double sum_ = 0.0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Sample reservoir with exact percentiles. Latency distributions in the
+ * system simulator are small enough (<= millions of samples) to keep all
+ * samples; percentile() sorts lazily.
+ */
+class Histogram
+{
+  public:
+    void
+    add(double x)
+    {
+        samples_.push_back(x);
+        sorted_ = false;
+        stat_.add(x);
+    }
+
+    uint64_t count() const { return stat_.count(); }
+    double mean() const { return stat_.mean(); }
+    double min() const { return stat_.min(); }
+    double max() const { return stat_.max(); }
+
+    /** Exact p-quantile, p in [0, 1]. Returns 0 when empty. */
+    double percentile(double p) const;
+
+    void
+    clear()
+    {
+        samples_.clear();
+        sorted_ = false;
+        stat_ = RunningStat();
+    }
+
+  private:
+    mutable std::vector<double> samples_;
+    mutable bool sorted_ = false;
+    RunningStat stat_;
+};
+
+/**
+ * Named event counters. Each hardware model owns a CounterSet; the energy
+ * model multiplies the counts by per-access energies. Using a sorted map
+ * keeps printed reports stable across runs.
+ */
+class CounterSet
+{
+  public:
+    void add(const std::string &name, uint64_t delta = 1)
+    {
+        counts_[name] += delta;
+    }
+
+    uint64_t
+    get(const std::string &name) const
+    {
+        auto it = counts_.find(name);
+        return it == counts_.end() ? 0 : it->second;
+    }
+
+    void
+    merge(const CounterSet &o)
+    {
+        for (const auto &[k, v] : o.counts_)
+            counts_[k] += v;
+    }
+
+    const std::map<std::string, uint64_t> &all() const { return counts_; }
+
+    void clear() { counts_.clear(); }
+
+  private:
+    std::map<std::string, uint64_t> counts_;
+};
+
+} // namespace simr
+
+#endif // SIMR_COMMON_STATS_H

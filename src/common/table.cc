@@ -1,0 +1,95 @@
+#include "common/table.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace simr
+{
+
+Table &
+Table::header(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+    return *this;
+}
+
+Table &
+Table::row(std::vector<std::string> cells)
+{
+    simr_assert(!header_.empty(), "table header must be set before rows");
+    if (cells.size() != header_.size()) {
+        simr_panic("table row width %zu != header width %zu",
+                   cells.size(), header_.size());
+    }
+    rows_.push_back(std::move(cells));
+    return *this;
+}
+
+std::string
+Table::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+Table::mult(double v, int precision)
+{
+    return num(v, precision) + "x";
+}
+
+std::string
+Table::pct(double v, int precision)
+{
+    return num(v * 100.0, precision) + "%";
+}
+
+std::string
+Table::render() const
+{
+    std::vector<size_t> widths(header_.size(), 0);
+    for (size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &r : rows_)
+        for (size_t c = 0; c < r.size(); ++c)
+            widths[c] = std::max(widths[c], r[c].size());
+
+    auto emit_row = [&](const std::vector<std::string> &cells,
+                        std::ostringstream &os) {
+        os << "|";
+        for (size_t c = 0; c < cells.size(); ++c) {
+            os << ' ' << cells[c];
+            for (size_t pad = cells[c].size(); pad < widths[c]; ++pad)
+                os << ' ';
+            os << " |";
+        }
+        os << '\n';
+    };
+
+    std::ostringstream os;
+    os << "== " << title_ << " ==\n";
+    emit_row(header_, os);
+    os << "|";
+    for (size_t c = 0; c < header_.size(); ++c) {
+        for (size_t pad = 0; pad < widths[c] + 2; ++pad)
+            os << '-';
+        os << "|";
+    }
+    os << '\n';
+    for (const auto &r : rows_)
+        emit_row(r, os);
+    return os.str();
+}
+
+void
+Table::print() const
+{
+    std::fputs(render().c_str(), stdout);
+    std::fputc('\n', stdout);
+    std::fflush(stdout);
+}
+
+} // namespace simr

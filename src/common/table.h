@@ -1,0 +1,52 @@
+/**
+ * @file
+ * ASCII table rendering for bench output. Every reproduction bench prints
+ * one or more tables with the same rows/series the paper reports, via this
+ * printer so formatting stays consistent.
+ */
+
+#ifndef SIMR_COMMON_TABLE_H
+#define SIMR_COMMON_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace simr
+{
+
+/** Column-aligned ASCII table with a title and a header row. */
+class Table
+{
+  public:
+    explicit Table(std::string title) : title_(std::move(title)) {}
+
+    /** Set the header cells; defines the column count. */
+    Table &header(std::vector<std::string> cells);
+
+    /** Append a data row; must match the header width. */
+    Table &row(std::vector<std::string> cells);
+
+    /** Convenience: format a double with the given precision. */
+    static std::string num(double v, int precision = 2);
+
+    /** Convenience: format as a multiplier, e.g. "5.70x". */
+    static std::string mult(double v, int precision = 2);
+
+    /** Convenience: format as a percentage, e.g. "92.1%". */
+    static std::string pct(double v, int precision = 1);
+
+    /** Render to a string (also used by tests). */
+    std::string render() const;
+
+    /** Render to stdout. */
+    void print() const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace simr
+
+#endif // SIMR_COMMON_TABLE_H

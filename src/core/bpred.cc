@@ -1,0 +1,41 @@
+#include "core/bpred.h"
+
+namespace simr::core
+{
+
+bool
+BatchBpred::predictAndTrain(const trace::DynOp &op)
+{
+    ++stats_.lookups;
+
+    int active = op.activeLanes();
+    int taken_lanes = trace::popcount(op.takenMask & op.mask);
+
+    bool outcome;
+    if (active <= 1) {
+        outcome = taken_lanes > 0;
+    } else if (majorityVote_) {
+        ++stats_.majorityVotes;
+        outcome = taken_lanes * 2 >= active;
+    } else {
+        // Voting disabled (sensitivity study): the predictor follows the
+        // lowest active lane's outcome.
+        trace::Mask lowest = op.mask & (~op.mask + 1);
+        outcome = (op.takenMask & lowest) != 0;
+    }
+
+    // Divergent lanes in the minority always flush at commit no matter
+    // the prediction (the paper's "inevitable mispredictions").
+    int minority = outcome ? active - taken_lanes : taken_lanes;
+    stats_.minorityLaneFlushes += static_cast<uint64_t>(minority);
+
+    bool pred = gshare_.predict(op.pc);
+    gshare_.update(op.pc, outcome);
+    if (pred != outcome) {
+        ++stats_.mispredicts;
+        return true;
+    }
+    return false;
+}
+
+} // namespace simr::core

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Canonical event-counter names shared by the timing cores and the
+ * energy model. Frontend/OoO events are counted once per (batch)
+ * instruction -- the amortization at the heart of the paper -- while
+ * execution and register-file events are counted per active lane.
+ */
+
+#ifndef SIMR_CORE_COUNTERS_H
+#define SIMR_CORE_COUNTERS_H
+
+namespace simr::core::ctr
+{
+
+// Frontend + OoO (per batch instruction).
+inline constexpr const char *kFetch = "frontend.fetch";
+inline constexpr const char *kDecode = "frontend.decode";
+inline constexpr const char *kBpLookup = "frontend.bp_lookup";
+inline constexpr const char *kBpMispredict = "frontend.bp_mispredict";
+inline constexpr const char *kBpMinorityFlush =
+    "frontend.bp_minority_lane_flush";
+inline constexpr const char *kMajorityVote = "simt.majority_vote";
+inline constexpr const char *kSimtSelect = "simt.convergence_select";
+inline constexpr const char *kPathSwitch = "simt.path_switch";
+inline constexpr const char *kRename = "ooo.rename";
+inline constexpr const char *kRobWrite = "ooo.rob_write";
+inline constexpr const char *kRobCommit = "ooo.rob_commit";
+inline constexpr const char *kIqWakeup = "ooo.iq_wakeup";
+
+// Execution (per active lane).
+inline constexpr const char *kIntOps = "exec.int_lane_ops";
+inline constexpr const char *kMulOps = "exec.mul_lane_ops";
+inline constexpr const char *kDivOps = "exec.div_lane_ops";
+inline constexpr const char *kFpOps = "exec.fp_lane_ops";
+inline constexpr const char *kSimdOps = "exec.simd_lane_ops";
+inline constexpr const char *kBranchOps = "exec.branch_lane_ops";
+inline constexpr const char *kRegRead = "exec.regfile_read";
+inline constexpr const char *kRegWrite = "exec.regfile_write";
+
+// Memory path (LSQ per batch instruction; cache counts per access).
+inline constexpr const char *kLsqInsert = "lsu.lsq_insert";
+inline constexpr const char *kMcuInsts = "lsu.mcu_insts";
+inline constexpr const char *kL1Access = "mem.l1_access";
+inline constexpr const char *kL1Miss = "mem.l1_miss";
+inline constexpr const char *kTlbLookup = "mem.tlb_lookup";
+inline constexpr const char *kL2Access = "mem.l2_access";
+inline constexpr const char *kL2Miss = "mem.l2_miss";
+inline constexpr const char *kL3Access = "mem.l3_access";
+inline constexpr const char *kNocFlitHops = "mem.noc_flit_hops";
+inline constexpr const char *kDramAccess = "mem.dram_access";
+
+// OS interaction.
+inline constexpr const char *kSyscalls = "sys.syscalls";
+
+} // namespace simr::core::ctr
+
+#endif // SIMR_CORE_COUNTERS_H

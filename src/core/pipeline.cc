@@ -1,0 +1,427 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "core/counters.h"
+
+namespace simr::core
+{
+
+using trace::DynOp;
+
+TimingCore::TimingCore(const CoreConfig &cfg)
+    : cfg_(cfg),
+      map_(cfg.stackInterleave, cfg.batchWidth),
+      mcu_(map_, cfg.mem.l1.lineBytes),
+      hier_(cfg.mem, map_)
+{
+    simr_assert(cfg_.smtThreads >= 1, "bad SMT degree");
+    simr_assert(cfg_.robEntries >= cfg_.smtThreads, "ROB too small");
+    rob_.resize(static_cast<size_t>(cfg_.robEntries));
+    intPorts_.assign(static_cast<size_t>(cfg_.intAluPorts), 0);
+    mulPorts_.assign(static_cast<size_t>(cfg_.mulDivPorts), 0);
+    simdPorts_.assign(static_cast<size_t>(cfg_.simdPorts), 0);
+    memPorts_.assign(static_cast<size_t>(cfg_.memPorts), 0);
+    brPorts_.assign(static_cast<size_t>(cfg_.branchPorts), 0);
+    fpPorts_.assign(static_cast<size_t>(cfg_.simdPorts), 0);
+}
+
+TimingCore::~TimingCore() = default;
+
+bool
+TimingCore::allDrained() const
+{
+    if (robCount_ != 0)
+        return false;
+    for (const auto &s : streams_)
+        if (!s.exhausted || s.hasPending)
+            return false;
+    return true;
+}
+
+bool
+TimingCore::claimPort(uint64_t cycle, const DynOp &op, uint32_t occupancy)
+{
+    std::vector<uint64_t> *ports = nullptr;
+    switch (isa::opInfo(op.si->op).fu) {
+      case isa::FuClass::IntAlu: ports = &intPorts_; break;
+      case isa::FuClass::IntMul:
+      case isa::FuClass::IntDiv: ports = &mulPorts_; break;
+      case isa::FuClass::FpAlu: ports = &fpPorts_; break;
+      case isa::FuClass::SimdUnit: ports = &simdPorts_; break;
+      case isa::FuClass::LoadStore: ports = &memPorts_; break;
+      case isa::FuClass::BranchUnit: ports = &brPorts_; break;
+      case isa::FuClass::SysUnit: ports = &brPorts_; break;
+      case isa::FuClass::None: return true;
+    }
+    for (auto &free_at : *ports) {
+        if (free_at <= cycle) {
+            free_at = cycle + occupancy;
+            return true;
+        }
+    }
+    return false;
+}
+
+uint32_t
+TimingCore::executeAt(uint64_t cycle, RobEntry &e)
+{
+    const DynOp &op = e.op;
+    int active = std::max(op.activeLanes(), 1);
+    auto &c = res_.counters;
+
+    switch (op.si->op) {
+      case isa::Op::IAlu: {
+        c.add(ctr::kIntOps, static_cast<uint64_t>(active));
+        bool complex = op.si->alu == isa::AluKind::Mix ||
+            op.si->alu == isa::AluKind::ModImm;
+        return static_cast<uint32_t>(complex ? cfg_.complexAluLat
+                                             : cfg_.aluLat);
+      }
+      case isa::Op::IMul:
+        c.add(ctr::kMulOps, static_cast<uint64_t>(active));
+        return static_cast<uint32_t>(cfg_.mulLat);
+      case isa::Op::IDiv:
+        c.add(ctr::kDivOps, static_cast<uint64_t>(active));
+        return static_cast<uint32_t>(cfg_.divLat);
+      case isa::Op::FAlu:
+        c.add(ctr::kFpOps, static_cast<uint64_t>(active));
+        return static_cast<uint32_t>(cfg_.faluLat);
+      case isa::Op::Simd:
+        c.add(ctr::kSimdOps, static_cast<uint64_t>(active));
+        return static_cast<uint32_t>(cfg_.simdLat);
+      case isa::Op::Branch:
+      case isa::Op::Jump:
+      case isa::Op::Call:
+      case isa::Op::Ret:
+        c.add(ctr::kBranchOps, static_cast<uint64_t>(active));
+        return static_cast<uint32_t>(cfg_.branchLat);
+      case isa::Op::Syscall:
+        c.add(ctr::kSyscalls, static_cast<uint64_t>(active));
+        return static_cast<uint32_t>(cfg_.syscallLat);
+      case isa::Op::Fence:
+      case isa::Op::Nop:
+        return 1;
+      case isa::Op::Load:
+      case isa::Op::Store:
+      case isa::Op::Atomic: {
+        c.add(ctr::kLsqInsert);
+        c.add(ctr::kMcuInsts);
+        mem::CoalesceKind kind = mcu_.coalesce(op, scratchAccesses_);
+        uint32_t lat = hier_.accessGroup(cycle, scratchAccesses_, kind);
+        memInFlight_.push(cycle + lat);
+        if (op.si->op == isa::Op::Store) {
+            // Stores retire through the store buffer; latency is hidden
+            // from the dependence chain.
+            return 1;
+        }
+        return lat;
+      }
+      default:
+        simr_panic("unhandled op in executeAt");
+    }
+}
+
+void
+TimingCore::fetch(uint64_t cycle)
+{
+    int budget = cfg_.fetchWidth;
+    int n = static_cast<int>(streams_.size());
+    int partition = cfg_.robEntries / static_cast<int>(streams_.size());
+    // SMT partitions the frontend: each hardware thread gets its slice
+    // of the fetch bandwidth per cycle (Table IV: 1-wide per thread at
+    // SMT-8), which is what costs SMT its single-thread latency.
+    int per_stream = std::max(1, cfg_.fetchWidth / n);
+
+    for (int i = 0; i < n && budget > 0; ++i) {
+        int si = (rrCursor_ + i) % n;
+        StreamCtx &s = streams_[static_cast<size_t>(si)];
+        int stream_budget = std::min(budget, per_stream);
+        while (stream_budget > 0) {
+            if (s.exhausted && !s.hasPending)
+                break;
+            if (s.waitingBranch || cycle < s.stallUntil) {
+                res_.counters.add(s.waitingBranch ? "stall.fe_branch"
+                                                  : "stall.fe_refill");
+                break;
+            }
+            if (robCount_ >= rob_.size() || s.inFlight >= partition) {
+                res_.counters.add("stall.rob_full");
+                break;
+            }
+
+            if (!s.hasPending) {
+                if (!s.stream->next(s.pending)) {
+                    s.exhausted = true;
+                    break;
+                }
+                s.hasPending = true;
+            }
+
+            DynOp &op = s.pending;
+            if (op.batchStart)
+                s.reqStart = cycle;
+
+            // Instruction-supply stalls: fixed-point accumulate the
+            // per-fetched-op i-miss rate; on overflow, charge a refill.
+            double mpki = cfg_.icacheMpki *
+                (cfg_.smtThreads > 1 ? cfg_.smtIcacheFactor : 1.0);
+            s.icacheAccum += static_cast<uint64_t>(mpki * 1000.0);
+            if (s.icacheAccum >= 1000000) {
+                s.icacheAccum -= 1000000;
+                s.stallUntil = cycle +
+                    static_cast<uint64_t>(cfg_.icacheMissPenalty);
+                res_.counters.add("frontend.icache_miss");
+            }
+
+            // Frontend accounting: once per (batch) instruction.
+            auto &c = res_.counters;
+            c.add(ctr::kFetch);
+            c.add(ctr::kDecode);
+            c.add(ctr::kRename);
+            c.add(ctr::kRobWrite);
+            if (cfg_.batchWidth > 1) {
+                c.add(ctr::kSimtSelect);
+                if (op.pathSwitch)
+                    c.add(ctr::kPathSwitch);
+            }
+
+            bool blocks_fetch = false;
+            bool mispred = false;
+            if (op.isBranch()) {
+                c.add(ctr::kBpLookup);
+                if (cfg_.inOrder) {
+                    // No speculation: every branch stalls fetch until
+                    // it resolves.
+                    blocks_fetch = true;
+                } else {
+                    mispred = s.bpred->predictAndTrain(op);
+                    blocks_fetch = mispred;
+                }
+            }
+
+            size_t slot = (robHead_ + robCount_) % rob_.size();
+            RobEntry &e = rob_[slot];
+            e.op = op;
+            e.stream = si;
+            e.seq = ++s.fetchedSeq;
+            e.doneCycle = 0;
+            e.reqStart = s.reqStart;
+            e.issued = false;
+            e.mispredicted = blocks_fetch;
+            s.doneAt[e.seq % kDoneRing] = UINT64_MAX;
+            ++robCount_;
+            ++s.inFlight;
+            s.hasPending = false;
+            --budget;
+            --stream_budget;
+
+            if (blocks_fetch) {
+                s.waitingBranch = true;
+                if (mispred)
+                    res_.counters.add(ctr::kBpMispredict);
+                break;
+            }
+        }
+    }
+    rrCursor_ = (rrCursor_ + 1) % n;
+}
+
+void
+TimingCore::issue(uint64_t cycle)
+{
+    // Retire completed memory transactions from the LSQ occupancy.
+    while (!memInFlight_.empty() && memInFlight_.top() <= cycle)
+        memInFlight_.pop();
+
+    int budget = cfg_.issueWidth;
+    size_t examined = 0;
+    for (size_t i = 0; i < robCount_ && budget > 0 &&
+             examined < static_cast<size_t>(cfg_.schedWindow); ++i) {
+        size_t slot = (robHead_ + i) % rob_.size();
+        RobEntry &e = rob_[slot];
+        if (e.issued)
+            continue;
+        ++examined;
+
+        StreamCtx &s = streams_[static_cast<size_t>(e.stream)];
+        if (cfg_.inOrder && e.seq != s.issuedSeq + 1)
+            continue;
+
+        // Dependence check via the per-stream completion ring.
+        auto ready = [&](uint16_t dep) {
+            if (dep == 0 || dep >= kDoneRing || e.seq <= dep)
+                return true;
+            uint64_t pseq = e.seq - dep;
+            return s.doneAt[pseq % kDoneRing] <= cycle;
+        };
+        if (!ready(e.op.dep1) || !ready(e.op.dep2)) {
+            res_.counters.add("stall.dep");
+            continue;
+        }
+
+        if (e.op.isMem() &&
+            memInFlight_.size() >=
+                static_cast<size_t>(cfg_.lsqEntries)) {
+            res_.counters.add("stall.lsq");
+            continue;
+        }
+
+        // Sub-batch interleaving: a per-lane computation occupies its FU
+        // for ceil(active / lanes) issue slots; inactive lanes are
+        // skipped (Fig. 8a). Pure control transfers (handled by the
+        // convergence optimizer), fences and memory ops take one slot:
+        // the LSQ allocates a single 8-wide row per batch instruction
+        // (Fig. 9) and the banked L1 models any access serialization.
+        uint32_t occupancy = 1;
+        switch (e.op.si->op) {
+          case isa::Op::IAlu:
+          case isa::Op::IMul:
+          case isa::Op::IDiv:
+          case isa::Op::FAlu:
+          case isa::Op::Simd:
+          case isa::Op::Branch:
+            occupancy = static_cast<uint32_t>(
+                (std::max(e.op.activeLanes(), 1) + cfg_.lanes - 1) /
+                cfg_.lanes);
+            break;
+          default:
+            break;
+        }
+        if (!claimPort(cycle, e.op, occupancy)) {
+            res_.counters.add("stall.port");
+            continue;
+        }
+
+        uint32_t lat = executeAt(cycle, e);
+        e.doneCycle = cycle + occupancy - 1 + lat;
+        e.issued = true;
+        s.doneAt[e.seq % kDoneRing] = e.doneCycle;
+        if (cfg_.inOrder)
+            s.issuedSeq = e.seq;
+        --budget;
+        res_.counters.add(ctr::kIqWakeup);
+
+        // Register file activity (per active lane).
+        int active = std::max(e.op.activeLanes(), 1);
+        res_.counters.add(ctr::kRegRead,
+                          static_cast<uint64_t>(2 * active));
+        if (isa::opInfo(e.op.si->op).writesReg)
+            res_.counters.add(ctr::kRegWrite,
+                              static_cast<uint64_t>(active));
+
+        if (e.mispredicted) {
+            // Fetch resumes after resolution plus the refill depth.
+            s.stallUntil = e.doneCycle +
+                static_cast<uint64_t>(cfg_.frontendDepth);
+            s.waitingBranch = false;
+        }
+    }
+}
+
+void
+TimingCore::commit(uint64_t cycle)
+{
+    int budget = cfg_.commitWidth;
+    while (robCount_ > 0 && budget > 0) {
+        RobEntry &e = rob_[robHead_];
+        if (!e.issued || e.doneCycle > cycle)
+            break;
+        StreamCtx &s = streams_[static_cast<size_t>(e.stream)];
+
+        res_.counters.add(ctr::kRobCommit);
+        ++res_.batchOps;
+        res_.scalarInsts +=
+            static_cast<uint64_t>(std::max(e.op.activeLanes(), 1));
+
+        if (e.op.endMask) {
+            int ended = trace::popcount(e.op.endMask);
+            for (int k = 0; k < ended; ++k) {
+                res_.reqLatency.add(
+                    static_cast<double>(cycle - e.reqStart));
+            }
+            res_.requests += static_cast<uint64_t>(ended);
+        }
+
+        robHead_ = (robHead_ + 1) % rob_.size();
+        --robCount_;
+        --s.inFlight;
+        --budget;
+    }
+}
+
+CoreResult
+TimingCore::run(const std::vector<trace::DynStream *> &streams,
+                uint64_t max_cycles)
+{
+    simr_assert(!streams.empty(), "no streams attached");
+    simr_assert(cfg_.smtThreads == static_cast<int>(streams.size()),
+                "stream count must equal the SMT degree");
+
+    res_ = CoreResult();
+    res_.configName = cfg_.name;
+    res_.freqGhz = cfg_.freqGhz;
+    hier_.reset();
+    mcu_.resetStats();
+
+    streams_.clear();
+    streams_.resize(streams.size());
+    for (size_t i = 0; i < streams.size(); ++i) {
+        streams_[i].stream = streams[i];
+        streams_[i].bpred =
+            std::make_unique<BatchBpred>(cfg_.majorityVoteBp);
+        streams_[i].doneAt.assign(kDoneRing, 0);
+    }
+    robHead_ = 0;
+    robCount_ = 0;
+    rrCursor_ = 0;
+    std::fill(intPorts_.begin(), intPorts_.end(), 0);
+    std::fill(mulPorts_.begin(), mulPorts_.end(), 0);
+    std::fill(simdPorts_.begin(), simdPorts_.end(), 0);
+    std::fill(memPorts_.begin(), memPorts_.end(), 0);
+    std::fill(brPorts_.begin(), brPorts_.end(), 0);
+    std::fill(fpPorts_.begin(), fpPorts_.end(), 0);
+    while (!memInFlight_.empty())
+        memInFlight_.pop();
+
+    uint64_t cycle = 0;
+    for (; cycle < max_cycles && !allDrained(); ++cycle) {
+        commit(cycle);
+        issue(cycle);
+        fetch(cycle);
+    }
+    if (!allDrained())
+        simr_warn("core '%s' hit the cycle bound", cfg_.name.c_str());
+
+    res_.cycles = cycle;
+
+    // Snapshot the memory path and predictor state.
+    res_.l1Stats = hier_.l1().stats();
+    res_.mcuStats = mcu_.stats();
+    res_.hierStats = hier_.stats();
+    res_.tlbStats = hier_.tlb().stats();
+    for (const auto &s : streams_) {
+        res_.bpStats.lookups += s.bpred->stats().lookups;
+        res_.bpStats.mispredicts += s.bpred->stats().mispredicts;
+        res_.bpStats.majorityVotes += s.bpred->stats().majorityVotes;
+        res_.bpStats.minorityLaneFlushes +=
+            s.bpred->stats().minorityLaneFlushes;
+    }
+
+    auto &c = res_.counters;
+    c.add(ctr::kBpMinorityFlush, res_.bpStats.minorityLaneFlushes);
+    c.add(ctr::kMajorityVote, res_.bpStats.majorityVotes);
+    c.add(ctr::kL1Access, hier_.l1().stats().accesses);
+    c.add(ctr::kL1Miss, hier_.l1().stats().misses);
+    c.add(ctr::kL2Access, hier_.l2().stats().accesses);
+    c.add(ctr::kL2Miss, hier_.l2().stats().misses);
+    c.add(ctr::kL3Access, hier_.l3().stats().accesses);
+    c.add(ctr::kTlbLookup, hier_.tlb().stats().lookups);
+    c.add(ctr::kNocFlitHops, hier_.noc().stats().flitHops);
+    c.add(ctr::kDramAccess, hier_.dram().stats().accesses);
+
+    return res_;
+}
+
+} // namespace simr::core

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * TimingCore: the trace-driven, cycle-level core model.
+ *
+ * One model covers all four design points of the paper by configuration:
+ *
+ *  - scalar CPU: 1 stream, 1 lane, OoO;
+ *  - SMT-8 CPU: 8 streams share the pipeline, partitioned ROB,
+ *    round-robin fetch;
+ *  - RPU: 1 batch stream (from the lockstep engine), 8 SIMT lanes with
+ *    sub-batch interleaving, MCU + banked L1, majority-voting BP,
+ *    longer ALU/branch/L1 latencies (Table IV);
+ *  - GPU-like: in-order issue, no speculation, lower clock, longer
+ *    memory path.
+ *
+ * The model is dependency-accurate: an instruction issues when its
+ * producers (by dynamic dependency distance) have completed, an FU port
+ * is free, and -- in order mode -- all older instructions of its stream
+ * have issued. Branch mispredictions stall the fetch of their stream
+ * until resolution plus the frontend refill depth. Memory instructions
+ * run through the MCU and the cache hierarchy at issue time.
+ */
+
+#ifndef SIMR_CORE_PIPELINE_H
+#define SIMR_CORE_PIPELINE_H
+
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/stats.h"
+#include "core/bpred.h"
+#include "core/config.h"
+#include "mem/coalescer.h"
+#include "mem/hierarchy.h"
+#include "trace/stream.h"
+
+namespace simr::core
+{
+
+/** Everything a run produces; inputs to the energy model and figures. */
+struct CoreResult
+{
+    std::string configName;
+    double freqGhz = 2.5;
+    uint64_t cycles = 0;
+    uint64_t batchOps = 0;       ///< (batch) instructions retired
+    uint64_t scalarInsts = 0;    ///< lane-level instructions retired
+    uint64_t requests = 0;
+    Histogram reqLatency;        ///< per-request latency in cycles
+    CounterSet counters;
+
+    // Memory-path snapshots for the figures.
+    mem::CacheStats l1Stats;
+    mem::McuStats mcuStats;
+    mem::HierarchyStats hierStats;
+    mem::TlbStats tlbStats;
+    BpredStats bpStats;
+
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(scalarInsts) /
+            static_cast<double>(cycles) : 0.0;
+    }
+
+    double
+    seconds() const
+    {
+        return static_cast<double>(cycles) / (freqGhz * 1e9);
+    }
+
+    /** Requests/second for one core at the configured clock. */
+    double
+    throughputPerCore() const
+    {
+        double s = seconds();
+        return s > 0 ? static_cast<double>(requests) / s : 0.0;
+    }
+
+    /** Mean request latency in microseconds. */
+    double
+    meanLatencyUs() const
+    {
+        return reqLatency.mean() / (freqGhz * 1e3);
+    }
+};
+
+/** The cycle-level core. */
+class TimingCore
+{
+  public:
+    explicit TimingCore(const CoreConfig &cfg);
+    ~TimingCore();
+
+    /**
+     * Run the attached streams to exhaustion.
+     * @param streams one stream per hardware thread (1 for CPU/RPU/GPU,
+     *        smtThreads for SMT)
+     * @param max_cycles safety bound
+     */
+    CoreResult run(const std::vector<trace::DynStream *> &streams,
+                   uint64_t max_cycles = 2000000000ULL);
+
+    const CoreConfig &config() const { return cfg_; }
+
+  private:
+    struct RobEntry
+    {
+        trace::DynOp op;
+        int stream = 0;
+        uint64_t seq = 0;
+        uint64_t doneCycle = 0;
+        uint64_t reqStart = 0;   ///< latency clock of this op's request
+        bool issued = false;
+        bool mispredicted = false;
+    };
+
+    struct StreamCtx
+    {
+        trace::DynStream *stream = nullptr;
+        std::unique_ptr<BatchBpred> bpred;
+        uint64_t fetchedSeq = 0;      ///< ops fetched so far
+        uint64_t issuedSeq = 0;       ///< in-order issue cursor
+        std::vector<uint64_t> doneAt; ///< doneCycle ring, by seq
+        bool exhausted = false;
+        bool waitingBranch = false;   ///< unresolved blocking branch
+        uint64_t stallUntil = 0;
+        int inFlight = 0;             ///< ROB partition occupancy
+        uint64_t reqStart = 0;
+        uint64_t icacheAccum = 0;     ///< scaled i-miss accumulator
+        trace::DynOp pending;
+        bool hasPending = false;
+    };
+
+    bool allDrained() const;
+    void fetch(uint64_t cycle);
+    void issue(uint64_t cycle);
+    void commit(uint64_t cycle);
+
+    /** Compute execution latency and perform side effects at issue. */
+    uint32_t executeAt(uint64_t cycle, RobEntry &e);
+
+    /** Claim an FU port of the op's class; false if none this cycle. */
+    bool claimPort(uint64_t cycle, const trace::DynOp &op,
+                   uint32_t occupancy);
+
+    static constexpr size_t kDoneRing = 8192;
+
+    CoreConfig cfg_;
+    mem::AddressMap map_;
+    mem::Mcu mcu_;
+    mem::MemoryHierarchy hier_;
+
+    std::vector<StreamCtx> streams_;
+    std::vector<RobEntry> rob_;      ///< ring buffer
+    size_t robHead_ = 0;
+    size_t robCount_ = 0;
+    int rrCursor_ = 0;
+
+    std::vector<uint64_t> intPorts_, mulPorts_, simdPorts_, memPorts_,
+        brPorts_, fpPorts_;
+    std::priority_queue<uint64_t, std::vector<uint64_t>,
+                        std::greater<uint64_t>> memInFlight_;
+    std::vector<mem::MemAccess> scratchAccesses_;
+
+    CoreResult res_;
+};
+
+} // namespace simr::core
+
+#endif // SIMR_CORE_PIPELINE_H

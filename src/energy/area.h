@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Area and peak-power estimation at 7nm (Table V).
+ *
+ * A small CACTI/McPAT-style parametric model: SRAM arrays scale with
+ * capacity (with banking/porting factors), execution resources with
+ * lane count, and the RPU-only structures (majority voting CAM, SIMT
+ * convergence optimizer, MCU CAMs, L1 crossbar) are explicit additions.
+ * Constants are fit so the CPU column reproduces typical 7nm OoO-core
+ * breakdowns (~40% of core area / ~50% of core power in frontend+OoO,
+ * per the papers Table V discussion).
+ */
+
+#ifndef SIMR_ENERGY_AREA_H
+#define SIMR_ENERGY_AREA_H
+
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+
+namespace simr::energy
+{
+
+/** One estimated component. */
+struct ComponentAP
+{
+    std::string name;
+    double areaMm2 = 0;
+    double peakWatts = 0;
+};
+
+/** Per-core estimate. */
+struct CoreAreaPower
+{
+    std::vector<ComponentAP> comps;
+
+    double coreAreaMm2() const;
+    double corePeakWatts() const;
+};
+
+/** Chip-level estimate (cores + uncore). */
+struct ChipAreaPower
+{
+    CoreAreaPower core;
+    int cores = 0;
+    double l3AreaMm2 = 0, l3Watts = 0;
+    double nocAreaMm2 = 0, nocWatts = 0;
+    double memCtrlAreaMm2 = 0, memCtrlWatts = 0;
+    double staticWatts = 0;
+
+    double chipAreaMm2() const;
+    double chipPeakWatts() const;
+};
+
+/** Estimate one core of the given flavour. */
+CoreAreaPower estimateCore(const core::CoreConfig &cfg);
+
+/** Estimate the whole chip (Table IV core counts). */
+ChipAreaPower estimateChip(const core::CoreConfig &cfg);
+
+} // namespace simr::energy
+
+#endif // SIMR_ENERGY_AREA_H

@@ -1,0 +1,116 @@
+#include "energy/model.h"
+
+#include "core/counters.h"
+
+namespace simr::energy
+{
+
+EnergyParams
+EnergyParams::cpu()
+{
+    return EnergyParams();
+}
+
+EnergyParams
+EnergyParams::rpu()
+{
+    EnergyParams p;
+    // Larger, banked caches plus the L1 crossbar and MCU on the hit
+    // path (Table V: 1.72x / 1.82x per access).
+    p.l1Access = p.l1Access * 1.72;
+    p.l2Access = p.l2Access * 1.82;
+    return p;
+}
+
+EnergyParams
+EnergyParams::gpu()
+{
+    EnergyParams p = rpu();
+    // No speculative OoO machinery: cheaper per-op control, lower
+    // clocked SRAMs.
+    p.rename = 20.0;
+    p.robWrite = 20.0;
+    p.robCommit = 10.0;
+    p.iqWakeup = 25.0;
+    p.bpLookup = 0.0;
+    p.fetch = 100.0;
+    p.decode = 90.0;
+    p.dynamicScale = 0.45;
+    return p;
+}
+
+EnergyParams
+EnergyParams::forConfig(const core::CoreConfig &cfg)
+{
+    if (cfg.name == "gpu" || cfg.inOrder)
+        return gpu();
+    if (cfg.batchWidth > 1)
+        return rpu();
+    return cpu();
+}
+
+EnergyBreakdown
+computeEnergy(const core::CoreResult &res, const EnergyParams &p,
+              double static_watts_per_core)
+{
+    namespace ctr = core::ctr;
+    const CounterSet &c = res.counters;
+    auto n = [&](const char *name) {
+        return static_cast<double>(c.get(name));
+    };
+
+    EnergyBreakdown e;
+    const double pj = 1e-12;
+
+    e.frontendOoo = pj *
+        (n(ctr::kFetch) * p.fetch +
+         n(ctr::kDecode) * p.decode +
+         n(ctr::kBpLookup) * p.bpLookup +
+         n(ctr::kRename) * p.rename +
+         n(ctr::kRobWrite) * p.robWrite +
+         n(ctr::kRobCommit) * p.robCommit +
+         n(ctr::kIqWakeup) * p.iqWakeup +
+         n(ctr::kLsqInsert) * p.lsqInsert);
+
+    e.execution = pj *
+        (n(ctr::kRegRead) * p.regRead +
+         n(ctr::kRegWrite) * p.regWrite +
+         n(ctr::kIntOps) * p.intOp +
+         n(ctr::kMulOps) * p.mulOp +
+         n(ctr::kDivOps) * p.divOp +
+         n(ctr::kFpOps) * p.fpOp +
+         n(ctr::kSimdOps) * p.simdOp +
+         n(ctr::kBranchOps) * p.branchOp +
+         n(ctr::kSyscalls) * p.syscall);
+
+    e.memory = pj *
+        (n(ctr::kL1Access) * p.l1Access +
+         n(ctr::kL2Access) * p.l2Access +
+         n(ctr::kL3Access) * p.l3Access +
+         n(ctr::kTlbLookup) * p.tlbLookup +
+         n(ctr::kDramAccess) * p.dramAccess +
+         n(ctr::kNocFlitHops) * p.nocFlitHop);
+
+    e.simtOverhead = pj *
+        (n(ctr::kMajorityVote) * p.majorityVote +
+         n(ctr::kSimtSelect) * p.simtSelect +
+         n(ctr::kMcuInsts) * p.mcuInst +
+         n(ctr::kBpMinorityFlush) * p.minorityFlush +
+         n(ctr::kPathSwitch) * p.pathSwitch);
+
+    e.frontendOoo *= p.dynamicScale;
+    e.execution *= p.dynamicScale;
+    e.memory *= p.dynamicScale;
+    e.simtOverhead *= p.dynamicScale;
+    e.staticEnergy = static_watts_per_core * res.seconds();
+    return e;
+}
+
+double
+requestsPerJoule(const core::CoreResult &res, const EnergyBreakdown &e)
+{
+    double total = e.total();
+    return total > 0 ? static_cast<double>(res.requests) / total : 0.0;
+}
+
+} // namespace simr::energy

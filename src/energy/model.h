@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Runtime energy model (the McPAT/GPUWattch substitute).
+ *
+ * Exactly like the paper's methodology, per-access energies for every
+ * pipeline structure are combined with the timing simulator's event
+ * counts to produce runtime energy, split into the Equation-1 buckets:
+ * frontend+OoO (fetch, decode, BP, rename/ROB/IQ, LSQ control),
+ * execution (register file + function units), memory (caches, TLB, NoC,
+ * DRAM), SIMT overhead (RPU-only structures: voting, convergence
+ * optimizer, MCU, L1 crossbar share) and static energy.
+ *
+ * Per-access values are pJ at 7nm, calibrated so the scalar-CPU
+ * breakdown reproduces Fig. 10 (~73% frontend+OoO on integer-heavy
+ * services, ~39% on the SIMD-dominated HDSearch-leaf, ~20% memory) and
+ * the RPU's L1/L2 access energies are 1.72x/1.82x the CPU's (Table V).
+ */
+
+#ifndef SIMR_ENERGY_MODEL_H
+#define SIMR_ENERGY_MODEL_H
+
+#include "core/pipeline.h"
+
+namespace simr::energy
+{
+
+/** Per-access energies in picojoules. */
+struct EnergyParams
+{
+    // Frontend + OoO control (charged once per batch instruction).
+    // Absolute scale: an 8-wide OoO core at 7nm burns ~1.2nJ of dynamic
+    // energy per retired instruction, ~3/4 of it here (Fig. 10).
+    double fetch = 170.0;
+    double decode = 140.0;
+    double bpLookup = 80.0;
+    double rename = 200.0;
+    double robWrite = 140.0;
+    double robCommit = 85.0;
+    double iqWakeup = 110.0;
+    double lsqInsert = 110.0;
+
+    // Execution (charged per active lane).
+    double regRead = 7.0;
+    double regWrite = 10.0;
+    double intOp = 14.0;
+    double mulOp = 60.0;
+    double divOp = 180.0;
+    double fpOp = 45.0;
+    double simdOp = 2600.0; ///< full 256-bit vector op incl. operands
+    double branchOp = 10.0;
+    double syscall = 2000.0;
+
+    // Memory path (per access).
+    double l1Access = 350.0;
+    double l2Access = 700.0;
+    double l3Access = 1400.0;
+    double tlbLookup = 40.0;
+    double dramAccess = 4500.0;
+    double nocFlitHop = 150.0;
+
+    // SIMT-only overheads (RPU additions, Section III-A2).
+    double majorityVote = 45.0;
+    double simtSelect = 28.0;
+    double mcuInst = 56.0;
+    double minorityFlush = 280.0; ///< pipeline slots squashed at commit
+    double pathSwitch = 56.0;
+
+    /**
+     * Global dynamic-energy scale: the GPU design point runs at a lower
+     * clock and supply voltage, so every switching event is cheaper
+     * (DVFS); CPU/RPU share one voltage domain (scale 1).
+     */
+    double dynamicScale = 1.0;
+
+    /** CPU-calibrated parameter set. */
+    static EnergyParams cpu();
+
+    /**
+     * RPU-calibrated set: larger banked L1/L2 (+crossbar, +MCU) raise
+     * per-access cache energy by 1.72x/1.82x (Table V analysis).
+     */
+    static EnergyParams rpu();
+
+    /** GPU-like set (no OoO structures, software-managed latencies). */
+    static EnergyParams gpu();
+
+    /** Pick the parameter set matching a core configuration. */
+    static EnergyParams forConfig(const core::CoreConfig &cfg);
+};
+
+/** Equation-1 energy buckets, in joules. */
+struct EnergyBreakdown
+{
+    double frontendOoo = 0;
+    double execution = 0;
+    double memory = 0;
+    double simtOverhead = 0;
+    double staticEnergy = 0;
+
+    double
+    total() const
+    {
+        return frontendOoo + execution + memory + simtOverhead +
+            staticEnergy;
+    }
+
+    double
+    dynamicTotal() const
+    {
+        return frontendOoo + execution + memory + simtOverhead;
+    }
+
+    /** Fraction of dynamic energy in the frontend+OoO bucket. */
+    double
+    frontendShare() const
+    {
+        double d = dynamicTotal();
+        return d > 0 ? frontendOoo / d : 0.0;
+    }
+};
+
+/**
+ * Combine a timing run's event counts with per-access energies.
+ * Static power is the core's share of the chip static power.
+ */
+EnergyBreakdown computeEnergy(const core::CoreResult &res,
+                              const EnergyParams &p,
+                              double static_watts_per_core);
+
+/** Requests per joule for a run under a breakdown. */
+double requestsPerJoule(const core::CoreResult &res,
+                        const EnergyBreakdown &e);
+
+} // namespace simr::energy
+
+#endif // SIMR_ENERGY_MODEL_H

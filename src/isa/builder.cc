@@ -1,0 +1,399 @@
+#include "isa/builder.h"
+
+#include "common/logging.h"
+
+namespace simr::isa
+{
+
+ProgramBuilder::ProgramBuilder(std::string name, Pc code_base)
+    : prog_(std::move(name), code_base)
+{
+}
+
+void
+ProgramBuilder::beginFunction(const std::string &name)
+{
+    simr_assert(!inFunction_, "nested beginFunction");
+    simr_assert(!finished_, "builder already finished");
+    int entry = prog_.addBlock();
+    prog_.addFunction(name, entry);
+    curBlock_ = entry;
+    inFunction_ = true;
+}
+
+void
+ProgramBuilder::endFunction()
+{
+    simr_assert(inFunction_, "endFunction outside function");
+    if (!prog_.block(curBlock_).hasTerminator())
+        ret();
+    inFunction_ = false;
+    curBlock_ = -1;
+}
+
+void
+ProgramBuilder::emit(StaticInst si)
+{
+    simr_assert(inFunction_, "emit outside a function body");
+    BasicBlock &bb = prog_.block(curBlock_);
+    simr_assert(!bb.hasTerminator(), "emit after block terminator");
+    bb.insts.push_back(si);
+}
+
+int
+ProgramBuilder::startBlock()
+{
+    int id = prog_.addBlock();
+    curBlock_ = id;
+    return id;
+}
+
+void
+ProgramBuilder::movImm(RegId dst, int64_t v)
+{
+    StaticInst si;
+    si.op = Op::IAlu;
+    si.alu = AluKind::MovImm;
+    si.dst = dst;
+    si.imm = v;
+    emit(si);
+}
+
+void
+ProgramBuilder::mov(RegId dst, RegId src)
+{
+    StaticInst si;
+    si.op = Op::IAlu;
+    si.alu = AluKind::Mov;
+    si.dst = dst;
+    si.src1 = src;
+    emit(si);
+}
+
+void
+ProgramBuilder::addImm(RegId dst, RegId src, int64_t v)
+{
+    StaticInst si;
+    si.op = Op::IAlu;
+    si.alu = AluKind::AddImm;
+    si.dst = dst;
+    si.src1 = src;
+    si.imm = v;
+    emit(si);
+}
+
+void
+ProgramBuilder::alu(AluKind k, RegId dst, RegId s1, RegId s2, int64_t imm)
+{
+    StaticInst si;
+    si.op = Op::IAlu;
+    si.alu = k;
+    si.dst = dst;
+    si.src1 = s1;
+    si.src2 = s2;
+    si.imm = imm;
+    emit(si);
+}
+
+void
+ProgramBuilder::mul(RegId dst, RegId s1, RegId s2)
+{
+    StaticInst si;
+    si.op = Op::IMul;
+    si.alu = AluKind::Mul;
+    si.dst = dst;
+    si.src1 = s1;
+    si.src2 = s2;
+    emit(si);
+}
+
+void
+ProgramBuilder::div(RegId dst, RegId s1, RegId s2)
+{
+    StaticInst si;
+    si.op = Op::IDiv;
+    si.alu = AluKind::Div;
+    si.dst = dst;
+    si.src1 = s1;
+    si.src2 = s2;
+    emit(si);
+}
+
+void
+ProgramBuilder::falu(AluKind k, RegId dst, RegId s1, RegId s2, int64_t imm)
+{
+    StaticInst si;
+    si.op = Op::FAlu;
+    si.alu = k;
+    si.dst = dst;
+    si.src1 = s1;
+    si.src2 = s2;
+    si.imm = imm;
+    emit(si);
+}
+
+void
+ProgramBuilder::simd(AluKind k, RegId dst, RegId s1, RegId s2, int64_t imm)
+{
+    StaticInst si;
+    si.op = Op::Simd;
+    si.alu = k;
+    si.dst = dst;
+    si.src1 = s1;
+    si.src2 = s2;
+    si.imm = imm;
+    emit(si);
+}
+
+void
+ProgramBuilder::hash(RegId dst, RegId s1, RegId s2, int64_t imm)
+{
+    StaticInst si;
+    si.op = Op::IAlu;
+    si.alu = AluKind::Mix;
+    si.dst = dst;
+    si.src1 = s1;
+    si.src2 = s2;
+    si.imm = imm;
+    emit(si);
+}
+
+void
+ProgramBuilder::load(RegId dst, RegId addr, int64_t off, uint16_t size)
+{
+    StaticInst si;
+    si.op = Op::Load;
+    si.dst = dst;
+    si.src1 = addr;
+    si.imm = off;
+    si.accessSize = size;
+    emit(si);
+}
+
+void
+ProgramBuilder::store(RegId src, RegId addr, int64_t off, uint16_t size)
+{
+    StaticInst si;
+    si.op = Op::Store;
+    si.src2 = src;
+    si.src1 = addr;
+    si.imm = off;
+    si.accessSize = size;
+    emit(si);
+}
+
+void
+ProgramBuilder::atomic(RegId dst, RegId addr, int64_t off)
+{
+    StaticInst si;
+    si.op = Op::Atomic;
+    si.dst = dst;
+    si.src1 = addr;
+    si.imm = off;
+    si.accessSize = 8;
+    emit(si);
+}
+
+void
+ProgramBuilder::syscall(Sys s)
+{
+    StaticInst si;
+    si.op = Op::Syscall;
+    si.sys = s;
+    si.dst = R_T11;
+    emit(si);
+}
+
+void
+ProgramBuilder::fence()
+{
+    StaticInst si;
+    si.op = Op::Fence;
+    emit(si);
+}
+
+void
+ProgramBuilder::nop(int count)
+{
+    for (int i = 0; i < count; ++i) {
+        StaticInst si;
+        si.op = Op::Nop;
+        emit(si);
+    }
+}
+
+void
+ProgramBuilder::callFn(const std::string &name)
+{
+    StaticInst si;
+    si.op = Op::Call;
+    si.funcId = prog_.findFunction(name);
+    BasicBlock &bb = prog_.block(curBlock_);
+    simr_assert(!bb.hasTerminator(), "call after block terminator");
+    bb.insts.push_back(si);
+    if (si.funcId < 0) {
+        pendingCalls_.push_back(
+            {curBlock_, bb.insts.size() - 1, name});
+    }
+    int cont = prog_.addBlock();
+    prog_.block(curBlock_).fallthrough = cont;
+    curBlock_ = cont;
+}
+
+void
+ProgramBuilder::ret()
+{
+    StaticInst si;
+    si.op = Op::Ret;
+    emit(si);
+}
+
+void
+ProgramBuilder::ifElse(RegId s1, Cmp cmp, RegId s2, const BodyFn &then_fn,
+                       const BodyFn &else_fn)
+{
+    simr_assert(inFunction_, "control flow outside a function body");
+    int cond_blk = curBlock_;
+    int then_blk = prog_.addBlock();
+
+    StaticInst br;
+    br.op = Op::Branch;
+    br.cmp = cmp;
+    br.src1 = s1;
+    br.src2 = s2;
+    br.targetBlock = then_blk;
+    BasicBlock &cb = prog_.block(cond_blk);
+    simr_assert(!cb.hasTerminator(), "branch after block terminator");
+    cb.insts.push_back(br);
+    size_t br_idx = cb.insts.size() - 1;
+
+    curBlock_ = then_blk;
+    then_fn();
+    int then_end = curBlock_;
+
+    int else_blk = prog_.addBlock();
+    prog_.block(cond_blk).fallthrough = else_blk;
+    curBlock_ = else_blk;
+    else_fn();
+    int else_end = curBlock_;
+
+    int join = prog_.addBlock();
+    if (!prog_.block(then_end).hasTerminator()) {
+        StaticInst jmp;
+        jmp.op = Op::Jump;
+        jmp.targetBlock = join;
+        prog_.block(then_end).insts.push_back(jmp);
+    }
+    if (!prog_.block(else_end).hasTerminator())
+        prog_.block(else_end).fallthrough = join;
+
+    prog_.block(cond_blk).insts[br_idx].reconvBlock = join;
+    curBlock_ = join;
+}
+
+void
+ProgramBuilder::ifElseImm(RegId s1, Cmp cmp, int64_t imm,
+                          const BodyFn &then_fn, const BodyFn &else_fn)
+{
+    // Materialize the immediate in a scratch register, as a compiler
+    // would for a compare-with-constant that doesn't fit the encoding.
+    movImm(R_T11, imm);
+    ifElse(s1, cmp, R_T11, then_fn, else_fn);
+}
+
+void
+ProgramBuilder::ifImm(RegId s1, Cmp cmp, int64_t imm, const BodyFn &then_fn)
+{
+    ifElseImm(s1, cmp, imm, then_fn, [] {});
+}
+
+void
+ProgramBuilder::whileLt(RegId s1, RegId s2, const BodyFn &body)
+{
+    simr_assert(inFunction_, "control flow outside a function body");
+    // Close the preceding block into the loop header.
+    int pre = curBlock_;
+    int header = prog_.addBlock();
+    if (!prog_.block(pre).hasTerminator())
+        prog_.block(pre).fallthrough = header;
+
+    int body_blk = prog_.addBlock();
+    StaticInst br;
+    br.op = Op::Branch;
+    br.cmp = Cmp::Lt;
+    br.src1 = s1;
+    br.src2 = s2;
+    br.targetBlock = body_blk;
+    prog_.block(header).insts.push_back(br);
+
+    curBlock_ = body_blk;
+    body();
+    int body_end = curBlock_;
+    if (!prog_.block(body_end).hasTerminator()) {
+        StaticInst jmp;
+        jmp.op = Op::Jump;
+        jmp.targetBlock = header;
+        prog_.block(body_end).insts.push_back(jmp);
+    }
+
+    int exit = prog_.addBlock();
+    prog_.block(header).fallthrough = exit;
+    prog_.block(header).insts.back().reconvBlock = exit;
+    curBlock_ = exit;
+}
+
+void
+ProgramBuilder::forLoop(RegId cnt, RegId limit, const BodyFn &body)
+{
+    movImm(cnt, 0);
+    whileLt(cnt, limit, [&] {
+        body();
+        addImm(cnt, cnt, 1);
+    });
+}
+
+void
+ProgramBuilder::forLoopImm(RegId cnt, RegId scratch_limit, int64_t limit,
+                           const BodyFn &body)
+{
+    movImm(scratch_limit, limit);
+    forLoop(cnt, scratch_limit, body);
+}
+
+void
+ProgramBuilder::apiSwitch(const std::vector<BodyFn> &cases)
+{
+    simr_assert(!cases.empty(), "apiSwitch with no cases");
+    // Recursive if/else chain: case i when R_API == i, last case as the
+    // final else.
+    std::function<void(size_t)> chain = [&](size_t i) {
+        if (i + 1 == cases.size()) {
+            cases[i]();
+            return;
+        }
+        ifElseImm(R_API, Cmp::Eq, static_cast<int64_t>(i),
+                  [&] { cases[i](); },
+                  [&] { chain(i + 1); });
+    };
+    chain(0);
+}
+
+Program
+ProgramBuilder::finish()
+{
+    simr_assert(!inFunction_, "finish inside an open function");
+    simr_assert(!finished_, "finish called twice");
+    finished_ = true;
+    for (const auto &pc : pendingCalls_) {
+        int fid = prog_.findFunction(pc.callee);
+        if (fid < 0) {
+            simr_panic("unresolved call to '%s' in program '%s'",
+                       pc.callee.c_str(), prog_.name().c_str());
+        }
+        prog_.block(pc.block).insts[pc.inst].funcId = fid;
+    }
+    prog_.layout();
+    return std::move(prog_);
+}
+
+} // namespace simr::isa

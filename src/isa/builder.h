@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Structured-programming front end for building µISA Programs.
+ *
+ * Services are written against this DSL:
+ *
+ *     ProgramBuilder b("memc");
+ *     b.beginFunction("main");
+ *     b.movImm(R_T0, 16);
+ *     b.whileLt(R_CNT, R_T0, [&] { ... loop body ... });
+ *     b.ifElse(R_API, Cmp::Eq, 0, [&] { ... }, [&] { ... });
+ *     b.ret();
+ *     b.endFunction();
+ *     Program p = b.finish();
+ *
+ * The builder guarantees the layout properties the SIMT engines rely on:
+ * join blocks are created after both arms (so reconvergence PCs are
+ * maximal over the region they dominate) and each conditional branch is
+ * annotated with its immediate post-dominator.
+ */
+
+#ifndef SIMR_ISA_BUILDER_H
+#define SIMR_ISA_BUILDER_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "isa/program.h"
+
+namespace simr::isa
+{
+
+/** Conventional register roles shared by all service programs. */
+enum ConvRegs : RegId {
+    R_ZERO = 0,     ///< hardwired zero
+    R_API = 1,      ///< request API id
+    R_ARGLEN = 2,   ///< request argument length
+    R_KEY = 3,      ///< request key / payload hash
+    R_REQID = 4,    ///< request sequence id
+    // r5..r27 are general purpose temporaries.
+    R_T0 = 5, R_T1 = 6, R_T2 = 7, R_T3 = 8, R_T4 = 9, R_T5 = 10,
+    R_T6 = 11, R_T7 = 12, R_T8 = 13, R_T9 = 14, R_T10 = 15, R_T11 = 16,
+    R_TID = 28,     ///< thread id within the batch
+    R_SHARED = 29,  ///< shared data segment base
+    R_SP = 30,      ///< stack pointer (top of this thread's stack segment)
+    R_HEAP = 31,    ///< private heap arena base
+};
+
+/** Builds one Program with structured control flow. */
+class ProgramBuilder
+{
+  public:
+    using BodyFn = std::function<void()>;
+
+    explicit ProgramBuilder(std::string name, Pc code_base = 0x400000);
+
+    /** @name Function structure */
+    /// @{
+    void beginFunction(const std::string &name);
+    void endFunction();
+    /// @}
+
+    /** @name Straight-line emission */
+    /// @{
+    void movImm(RegId dst, int64_t v);
+    void mov(RegId dst, RegId src);
+    void addImm(RegId dst, RegId src, int64_t v);
+    void alu(AluKind k, RegId dst, RegId s1, RegId s2 = R_ZERO,
+             int64_t imm = 0);
+    /** Integer multiply (issues to the IntMul unit). */
+    void mul(RegId dst, RegId s1, RegId s2);
+    /** Integer divide (issues to the IntDiv unit). */
+    void div(RegId dst, RegId s1, RegId s2);
+    /** Scalar FP op (value semantics of `k` on integer bits). */
+    void falu(AluKind k, RegId dst, RegId s1, RegId s2 = R_ZERO,
+              int64_t imm = 0);
+    /** 256-bit SIMD op (one per-thread vector instruction). */
+    void simd(AluKind k, RegId dst, RegId s1, RegId s2 = R_ZERO,
+              int64_t imm = 0);
+    /** Hash: dst = mix64(s1 ^ s2 ^ imm). */
+    void hash(RegId dst, RegId s1, RegId s2 = R_ZERO, int64_t imm = 0);
+    void load(RegId dst, RegId addr, int64_t off = 0, uint16_t size = 8);
+    void store(RegId src, RegId addr, int64_t off = 0, uint16_t size = 8);
+    void atomic(RegId dst, RegId addr, int64_t off = 0);
+    void syscall(Sys s);
+    void fence();
+    void nop(int count = 1);
+    /** Call a function by name (forward references allowed). */
+    void callFn(const std::string &name);
+    /** Return from the current function. */
+    void ret();
+    /// @}
+
+    /** @name Structured control flow */
+    /// @{
+    /** if (s1 cmp s2) { then_fn } else { else_fn } */
+    void ifElse(RegId s1, Cmp cmp, RegId s2, const BodyFn &then_fn,
+                const BodyFn &else_fn);
+    /** if (s1 cmp imm) { then_fn } else { else_fn } */
+    void ifElseImm(RegId s1, Cmp cmp, int64_t imm, const BodyFn &then_fn,
+                   const BodyFn &else_fn);
+    /** if (s1 cmp imm) { then_fn } */
+    void ifImm(RegId s1, Cmp cmp, int64_t imm, const BodyFn &then_fn);
+    /** while (s1 < s2) { body } — condition re-evaluated at the header. */
+    void whileLt(RegId s1, RegId s2, const BodyFn &body);
+    /** for (cnt = 0; cnt < limit_reg; ++cnt) { body } */
+    void forLoop(RegId cnt, RegId limit, const BodyFn &body);
+    /** for (cnt = 0; cnt < limit_imm; ++cnt) { body } using scratch reg. */
+    void forLoopImm(RegId cnt, RegId scratch_limit, int64_t limit,
+                    const BodyFn &body);
+    /**
+     * Dispatch on R_API: cases[i] runs when R_API == i; emitted as an
+     * if/else chain, which is how switch statements over a handful of
+     * RPC methods compile in practice.
+     */
+    void apiSwitch(const std::vector<BodyFn> &cases);
+    /// @}
+
+    /**
+     * Finalize: resolves forward calls, lays out PCs, validates.
+     * The builder must not be used afterwards.
+     */
+    Program finish();
+
+  private:
+    struct PendingCall
+    {
+        int block;
+        size_t inst;
+        std::string callee;
+    };
+
+    /** Emit an instruction into the current block. */
+    void emit(StaticInst si);
+
+    /** Start a fresh block and make it current; returns its id. */
+    int startBlock();
+
+    /** Close the current block by branching; see call sites. */
+    void terminate(StaticInst si);
+
+    Program prog_;
+    int curBlock_ = -1;
+    bool inFunction_ = false;
+    bool finished_ = false;
+    std::vector<PendingCall> pendingCalls_;
+};
+
+} // namespace simr::isa
+
+#endif // SIMR_ISA_BUILDER_H

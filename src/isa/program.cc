@@ -1,0 +1,85 @@
+#include "isa/program.h"
+
+#include "common/logging.h"
+
+namespace simr::isa
+{
+
+int
+Program::findFunction(const std::string &name) const
+{
+    for (size_t i = 0; i < funcs_.size(); ++i)
+        if (funcs_[i].name == name)
+            return static_cast<int>(i);
+    return -1;
+}
+
+void
+Program::layout()
+{
+    simr_assert(!laidOut_, "program laid out twice");
+    blockPcs_.resize(blocks_.size());
+    Pc pc = codeBase_;
+    totalInsts_ = 0;
+    for (size_t b = 0; b < blocks_.size(); ++b) {
+        blockPcs_[b] = pc;
+        pc += static_cast<Pc>(blocks_[b].insts.size()) * kInstBytes;
+        totalInsts_ += blocks_[b].insts.size();
+    }
+    laidOut_ = true;
+    validate();
+}
+
+void
+Program::validate() const
+{
+    auto check_block = [this](int id, const char *what) {
+        if (id < 0 || id >= numBlocks())
+            simr_panic("%s: bad block id %d in program '%s'",
+                       what, id, name_.c_str());
+    };
+
+    if (funcs_.empty())
+        simr_panic("program '%s' has no functions", name_.c_str());
+    for (const auto &f : funcs_)
+        check_block(f.entry, "function entry");
+
+    for (int b = 0; b < numBlocks(); ++b) {
+        const BasicBlock &bb = blocks_[static_cast<size_t>(b)];
+        for (size_t i = 0; i < bb.insts.size(); ++i) {
+            const StaticInst &si = bb.insts[i];
+            bool is_last = (i + 1 == bb.insts.size());
+            if (opInfo(si.op).isCtrl && !is_last) {
+                simr_panic("program '%s' block %d: control op '%s' not at "
+                           "block end", name_.c_str(), b, opName(si.op));
+            }
+            switch (si.op) {
+              case Op::Branch:
+                check_block(si.targetBlock, "branch target");
+                check_block(bb.fallthrough, "branch fallthrough");
+                check_block(si.reconvBlock, "branch reconvergence");
+                break;
+              case Op::Jump:
+                check_block(si.targetBlock, "jump target");
+                break;
+              case Op::Call:
+                if (si.funcId < 0 || si.funcId >= numFunctions()) {
+                    simr_panic("program '%s' block %d: bad callee %d",
+                               name_.c_str(), b, si.funcId);
+                }
+                check_block(bb.fallthrough, "call continuation");
+                break;
+              default:
+                break;
+            }
+        }
+        if (!bb.hasTerminator() && bb.fallthrough < 0) {
+            // Blocks with neither terminator nor fallthrough are only
+            // legal if unreachable; treat as an authoring error.
+            simr_panic("program '%s' block %d: no terminator and no "
+                       "fallthrough", name_.c_str(), b);
+        }
+    }
+}
+
+} // namespace simr::isa

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Static program representation for the µISA.
+ *
+ * A Program is a set of functions, each a list of basic blocks. Blocks are
+ * laid out (assigned PCs) in creation order; the ProgramBuilder creates
+ * if/else join blocks and loop exit blocks *after* the code they merge, so
+ * the MinPC reconvergence assumption of the paper ("reconvergence points
+ * are found at the lowest point of the code they dominate") holds by
+ * construction, exactly as it does for compiler-laid-out x86 binaries.
+ *
+ * Conditional branches additionally carry their immediate post-dominator
+ * block (known exactly because control flow is structured). Only the
+ * *ideal stack-based* SIMT analyzer uses this annotation; the MinSP-PC
+ * heuristic engine ignores it, mirroring the paper's two analysis modes.
+ */
+
+#ifndef SIMR_ISA_PROGRAM_H
+#define SIMR_ISA_PROGRAM_H
+
+#include <string>
+#include <vector>
+
+#include "isa/isa.h"
+
+namespace simr::isa
+{
+
+/** One static µISA instruction. Terminators sit last in their block. */
+struct StaticInst
+{
+    Op op = Op::Nop;
+    AluKind alu = AluKind::MovImm;
+    Cmp cmp = Cmp::Eq;
+    RegId dst = 0;
+    RegId src1 = 0;
+    RegId src2 = 0;
+    int64_t imm = 0;
+    uint16_t accessSize = 8;    ///< bytes, for Load/Store/Atomic
+    Sys sys = Sys::Log;
+    int targetBlock = -1;       ///< Branch taken / Jump target
+    int funcId = -1;            ///< Call target function
+    int reconvBlock = -1;       ///< IPDOM annotation for Branch
+};
+
+/**
+ * A basic block: zero or more body instructions plus an optional
+ * control-flow terminator (Branch/Jump/Call/Ret) as the last instruction.
+ * Blocks without a terminator fall through to `fallthrough`; Branch uses
+ * `fallthrough` as the not-taken successor and Call as the return
+ * continuation.
+ */
+struct BasicBlock
+{
+    std::vector<StaticInst> insts;
+    int fallthrough = -1;
+
+    bool
+    hasTerminator() const
+    {
+        return !insts.empty() && opInfo(insts.back().op).isCtrl;
+    }
+};
+
+/** A function: a named entry block. Execution starts at `entry`. */
+struct Function
+{
+    std::string name;
+    int entry = -1;
+};
+
+/**
+ * A complete static program for one microservice. Immutable once built;
+ * shared by every request thread that executes the service.
+ */
+class Program
+{
+  public:
+    Program(std::string name, Pc code_base)
+        : name_(std::move(name)), codeBase_(code_base)
+    {}
+
+    const std::string &name() const { return name_; }
+    Pc codeBase() const { return codeBase_; }
+
+    /** Append a new empty block; returns its id. */
+    int
+    addBlock()
+    {
+        blocks_.emplace_back();
+        return static_cast<int>(blocks_.size()) - 1;
+    }
+
+    BasicBlock &block(int id) { return blocks_.at(static_cast<size_t>(id)); }
+
+    const BasicBlock &
+    block(int id) const
+    {
+        return blocks_.at(static_cast<size_t>(id));
+    }
+
+    int numBlocks() const { return static_cast<int>(blocks_.size()); }
+
+    /** Register a function; returns its id. */
+    int
+    addFunction(const std::string &name, int entry)
+    {
+        funcs_.push_back({name, entry});
+        return static_cast<int>(funcs_.size()) - 1;
+    }
+
+    const Function &func(int id) const
+    {
+        return funcs_.at(static_cast<size_t>(id));
+    }
+
+    int numFunctions() const { return static_cast<int>(funcs_.size()); }
+
+    /** Find a function id by name; -1 if absent. */
+    int findFunction(const std::string &name) const;
+
+    /**
+     * Assign PCs to all blocks in id order and validate structural
+     * invariants (terminators, successor ranges). Must be called once
+     * after construction, before execution.
+     */
+    void layout();
+
+    bool laidOut() const { return laidOut_; }
+
+    /** PC of the first instruction of a block. */
+    Pc
+    blockPc(int id) const
+    {
+        return blockPcs_.at(static_cast<size_t>(id));
+    }
+
+    /** PC of instruction `idx` inside block `id`. */
+    Pc
+    pcOf(int id, size_t idx) const
+    {
+        return blockPc(id) + static_cast<Pc>(idx) * kInstBytes;
+    }
+
+    /** Total static instruction count. */
+    size_t staticInstCount() const { return totalInsts_; }
+
+  private:
+    void validate() const;
+
+    std::string name_;
+    Pc codeBase_;
+    std::vector<BasicBlock> blocks_;
+    std::vector<Function> funcs_;
+    std::vector<Pc> blockPcs_;
+    size_t totalInsts_ = 0;
+    bool laidOut_ = false;
+};
+
+} // namespace simr::isa
+
+#endif // SIMR_ISA_PROGRAM_H

@@ -1,0 +1,4 @@
+// AddressSpace and AddressMap are header-only; this translation unit
+// exists so the library has a home for future non-inline helpers and to
+// keep one .cc per header as the project convention.
+#include "mem/address_space.h"

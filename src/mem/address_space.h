@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Virtual address-space layout shared by all service workloads, plus the
+ * RPU's stack-segment interleaving transform (paper Fig. 13).
+ *
+ * Layout (one service process, many request threads):
+ *
+ *   [code]    0x0000'0040'0000
+ *   [data]    0x0000'1000'0000   shared constants / globals
+ *   [sheap]   0x0000'2000'0000   shared heap structures (tables, models)
+ *   [pheap]   0x0000'4000'0000   per-thread private heap arenas
+ *   [stack]   0x0000'8000'0000   per-thread stacks, contiguous per batch
+ *
+ * The RPU driver guarantees the 32 stacks of one batch are contiguous in
+ * virtual memory; RPU hardware then interleaves them 4 bytes at a time in
+ * physical space so that lockstep pushes/pops from all lanes coalesce
+ * into a handful of cache lines. CPU configurations map stacks identity.
+ */
+
+#ifndef SIMR_MEM_ADDRESS_SPACE_H
+#define SIMR_MEM_ADDRESS_SPACE_H
+
+#include <cstdint>
+
+namespace simr::mem
+{
+
+using Addr = uint64_t;
+
+/** Segment classification of a virtual address. */
+enum class Segment : uint8_t {
+    Code,
+    SharedData,
+    SharedHeap,
+    PrivateHeap,
+    Stack,
+    Other,
+};
+
+/** Address-space layout constants and helpers. */
+struct AddressSpace
+{
+    static constexpr Addr kCodeBase = 0x0000'0040'0000ULL;
+    static constexpr Addr kDataBase = 0x0000'1000'0000ULL;
+    static constexpr Addr kSharedHeapBase = 0x0000'2000'0000ULL;
+    static constexpr Addr kPrivateHeapBase = 0x0000'4000'0000ULL;
+    static constexpr Addr kStackBase = 0x0000'8000'0000ULL;
+    static constexpr Addr kStackEnd = 0x0001'0000'0000ULL;
+
+    /** Per-thread stack segment size (virtual). */
+    static constexpr Addr kStackSize = 64 * 1024;
+
+    /**
+     * Per-thread private heap arena stride. Deliberately not a power of
+     * two: physical page allocation randomizes cache-set placement on
+     * real machines, whereas an exact 1MB stride under our flat
+     * virtual=physical mapping would alias every thread's arena onto
+     * the same handful of L1 sets.
+     */
+    static constexpr Addr kArenaStride = (1 << 20) + 8 * 1024 + 32;
+
+    /** Classify a virtual address. */
+    static Segment
+    classify(Addr a)
+    {
+        if (a >= kStackBase && a < kStackEnd)
+            return Segment::Stack;
+        if (a >= kPrivateHeapBase)
+            return Segment::PrivateHeap;
+        if (a >= kSharedHeapBase)
+            return Segment::SharedHeap;
+        if (a >= kDataBase)
+            return Segment::SharedData;
+        if (a >= kCodeBase)
+            return Segment::Code;
+        return Segment::Other;
+    }
+
+    /** Base of the stack segment for global thread slot `gtid`. */
+    static Addr
+    stackSegmentBase(uint64_t gtid)
+    {
+        return kStackBase + gtid * kStackSize;
+    }
+
+    /** Initial stack pointer for global thread slot `gtid`. */
+    static Addr
+    stackTop(uint64_t gtid)
+    {
+        // Leave a red zone at the very top.
+        return stackSegmentBase(gtid) + kStackSize - 256;
+    }
+};
+
+/**
+ * Virtual-to-physical mapping policy used by the cache models.
+ *
+ * CPU configurations use the identity map. The RPU maps the stack region
+ * with the 4-byte interleave of Fig. 13: within a batch of `batchSize`
+ * contiguous stack segments, word w of thread t lands at
+ * (w * batchSize + t) words from the batch's physical base, so a lockstep
+ * push from all lanes occupies consecutive words of a few lines.
+ */
+class AddressMap
+{
+  public:
+    AddressMap(bool interleave_stacks, int batch_size)
+        : interleaveStacks_(interleave_stacks), batchSize_(batch_size)
+    {}
+
+    /** Translate a virtual address to the modelled physical address. */
+    Addr
+    toPhysical(Addr va) const
+    {
+        if (!interleaveStacks_ ||
+            AddressSpace::classify(va) != Segment::Stack) {
+            return va;
+        }
+        Addr off = va - AddressSpace::kStackBase;
+        uint64_t gtid = off / AddressSpace::kStackSize;
+        Addr in_stack = off % AddressSpace::kStackSize;
+        uint64_t batch = gtid / static_cast<uint64_t>(batchSize_);
+        uint64_t lane = gtid % static_cast<uint64_t>(batchSize_);
+        Addr batch_base = AddressSpace::kStackBase +
+            batch * static_cast<uint64_t>(batchSize_) *
+            AddressSpace::kStackSize;
+        Addr word = in_stack / 4;
+        Addr byte = in_stack % 4;
+        return batch_base +
+            (word * static_cast<uint64_t>(batchSize_) + lane) * 4 + byte;
+    }
+
+    bool interleavesStacks() const { return interleaveStacks_; }
+    int batchSize() const { return batchSize_; }
+
+  private:
+    bool interleaveStacks_;
+    int batchSize_;
+};
+
+} // namespace simr::mem
+
+#endif // SIMR_MEM_ADDRESS_SPACE_H

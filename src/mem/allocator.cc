@@ -1,0 +1,2 @@
+// HeapAllocator is header-only; see allocator.h.
+#include "mem/allocator.h"

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Heap allocator policies (paper Section III-B4, Fig. 16).
+ *
+ * Services dynamically allocate thread-private arrays on the heap. With a
+ * SIMR-agnostic allocator (glibc-like bump allocation per arena), the
+ * allocations of parallel threads start at the same bank alignment, so
+ * lockstep accesses to element i from every lane collide on one L1 bank.
+ * The SIMR-aware allocator staggers each thread's allocation start by
+ * tid * bankInterleave bytes so that consecutive per-thread accesses are
+ * conflict-free across the banked L1.
+ */
+
+#ifndef SIMR_MEM_ALLOCATOR_H
+#define SIMR_MEM_ALLOCATOR_H
+
+#include <cstdint>
+
+#include "mem/address_space.h"
+
+namespace simr::mem
+{
+
+/** Allocator flavour selector. */
+enum class AllocPolicy : uint8_t {
+    GlibcLike,  ///< SIMR-agnostic: identical arena offsets per thread
+    SimrAware,  ///< start addresses staggered by tid * bank interleave
+};
+
+/**
+ * Computes per-thread heap arena base addresses under a policy. The
+ * arena base is what lands in R_HEAP; services address private data as
+ * R_HEAP + offset, so the policy fully determines bank behaviour.
+ */
+class HeapAllocator
+{
+  public:
+    HeapAllocator(AllocPolicy policy, uint32_t bank_interleave = 32)
+        : policy_(policy), bankInterleave_(bank_interleave)
+    {}
+
+    /** Arena base for global thread slot `gtid`. */
+    Addr
+    arenaBase(uint64_t gtid) const
+    {
+        // Arenas are mmap'd, hence page-aligned: every thread's
+        // allocations start at the same bank alignment.
+        Addr stride = (AddressSpace::kArenaStride + 4095) & ~Addr(4095);
+        Addr base = AddressSpace::kPrivateHeapBase + gtid * stride;
+        if (policy_ == AllocPolicy::SimrAware) {
+            // Fig. 16b bottom: stagger each thread's allocation start
+            // by one bank stride (start % (interleave * tid) == 0), so
+            // lockstep accesses to element i spread across the banks.
+            // Costs a few hundred bytes of fragmentation per
+            // allocation, amortized by arena-sized allocations.
+            base += (gtid % 8) * bankInterleave_;
+        }
+        return base;
+    }
+
+    /** Bytes of fragmentation this policy wastes per 32-thread batch. */
+    uint64_t
+    fragmentationPerBatch() const
+    {
+        if (policy_ != AllocPolicy::SimrAware)
+            return 0;
+        uint64_t total = 0;
+        for (uint64_t t = 0; t < 32; ++t)
+            total += t * bankInterleave_;
+        return total / 32;  // average per thread
+    }
+
+    AllocPolicy policy() const { return policy_; }
+
+  private:
+    AllocPolicy policy_;
+    uint32_t bankInterleave_;
+};
+
+} // namespace simr::mem
+
+#endif // SIMR_MEM_ALLOCATOR_H

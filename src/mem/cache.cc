@@ -1,0 +1,90 @@
+#include "mem/cache.h"
+
+#include "common/logging.h"
+
+namespace simr::mem
+{
+
+Cache::Cache(CacheConfig cfg)
+    : cfg_(std::move(cfg))
+{
+    simr_assert(cfg_.lineBytes > 0 && cfg_.assoc > 0, "bad cache geometry");
+    uint64_t num_lines = cfg_.sizeBytes / cfg_.lineBytes;
+    simr_assert(num_lines >= cfg_.assoc, "cache smaller than one set");
+    numSets_ = static_cast<uint32_t>(num_lines / cfg_.assoc);
+    simr_assert((numSets_ & (numSets_ - 1)) == 0,
+                "cache set count must be a power of two");
+    lines_.resize(static_cast<size_t>(numSets_) * cfg_.assoc);
+}
+
+uint32_t
+Cache::setOf(Addr paddr) const
+{
+    return static_cast<uint32_t>((paddr / cfg_.lineBytes) & (numSets_ - 1));
+}
+
+Addr
+Cache::tagOf(Addr paddr) const
+{
+    return paddr / cfg_.lineBytes / numSets_;
+}
+
+bool
+Cache::access(Addr paddr, bool is_store)
+{
+    ++stats_.accesses;
+    if (is_store)
+        ++stats_.storeAccesses;
+    ++tick_;
+
+    uint32_t set = setOf(paddr);
+    Addr tag = tagOf(paddr);
+    Line *base = &lines_[static_cast<size_t>(set) * cfg_.assoc];
+
+    Line *victim = base;
+    for (uint32_t w = 0; w < cfg_.assoc; ++w) {
+        Line &l = base[w];
+        if (l.valid && l.tag == tag) {
+            l.lru = tick_;
+            l.dirty = l.dirty || is_store;
+            return true;
+        }
+        if (!l.valid) {
+            victim = &l;
+        } else if (victim->valid && l.lru < victim->lru) {
+            victim = &l;
+        }
+    }
+
+    ++stats_.misses;
+    if (victim->valid && victim->dirty)
+        ++stats_.writebacks;
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lru = tick_;
+    victim->dirty = is_store;
+    return false;
+}
+
+bool
+Cache::probe(Addr paddr) const
+{
+    uint32_t set = setOf(paddr);
+    Addr tag = tagOf(paddr);
+    const Line *base = &lines_[static_cast<size_t>(set) * cfg_.assoc];
+    for (uint32_t w = 0; w < cfg_.assoc; ++w)
+        if (base[w].valid && base[w].tag == tag)
+            return true;
+    return false;
+}
+
+void
+Cache::reset()
+{
+    for (auto &l : lines_)
+        l = Line();
+    tick_ = 0;
+    stats_ = CacheStats();
+}
+
+} // namespace simr::mem

@@ -1,0 +1,2 @@
+// Dram is header-only; see dram.h.
+#include "mem/dram.h"

@@ -1,0 +1,132 @@
+#include "mem/hierarchy.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace simr::mem
+{
+
+MemoryHierarchy::MemoryHierarchy(const MemPathConfig &cfg,
+                                 const AddressMap &map)
+    : cfg_(cfg), map_(map), l1_(cfg.l1), l2_(cfg.l2), l3_(cfg.l3),
+      tlb_(cfg.tlb), noc_(cfg.noc), dram_(cfg.dram)
+{
+    bankFree_.assign(cfg_.l1.banks, 0);
+}
+
+uint32_t
+MemoryHierarchy::accessGroup(uint64_t cycle,
+                             const std::vector<MemAccess> &accesses,
+                             CoalesceKind kind)
+{
+    // Stack and same-word patterns need a single address translation
+    // (the RPU's address generation unit overrides the stack base);
+    // divergent patterns translate per access.
+    bool translate_each = kind == CoalesceKind::Divergent ||
+        kind == CoalesceKind::Scalar || kind == CoalesceKind::Consecutive;
+
+    uint32_t worst = 0;
+    bool first = true;
+    for (const auto &acc : accesses) {
+        bool translate = translate_each || first;
+        worst = std::max(worst, accessPath(cycle, acc, translate));
+        first = false;
+    }
+    return worst;
+}
+
+uint32_t
+MemoryHierarchy::accessOne(uint64_t cycle, const MemAccess &acc)
+{
+    return accessPath(cycle, acc, true);
+}
+
+uint32_t
+MemoryHierarchy::accessPath(uint64_t cycle, const MemAccess &acc,
+                            bool translate)
+{
+    ++stats_.totalAccesses;
+    uint32_t latency = 0;
+
+    // Atomics under the RPU/GPU weak-consistency model bypass the
+    // private caches and execute at the shared L3.
+    if (acc.isAtomic && cfg_.atomicsAtL3) {
+        ++stats_.atomicsAtL3;
+        latency = noc_.transfer(cfg_.l1.lineBytes) + cfg_.l3HitLatency;
+        if (!l3_.access(acc.paddr, acc.isStore))
+            latency += dram_.access(cycle + latency, acc.paddr);
+        stats_.totalLatency += latency;
+        return latency;
+    }
+
+    // L1 bank availability: one access per bank per cycle.
+    uint32_t bank = l1_.bankOf(acc.paddr);
+    uint64_t start = std::max(cycle, bankFree_[bank]);
+    bankFree_[bank] = start + 1;
+    uint32_t conflict = static_cast<uint32_t>(start - cycle);
+    stats_.l1BankConflictCycles += conflict;
+    latency += conflict;
+
+    if (translate && !tlb_.lookup(acc.paddr, bank))
+        latency += cfg_.tlbWalkLatency;
+
+    // MSHR merge window: a line with an in-flight fill serves new
+    // requests at the fill's completion, whether or not the (eager)
+    // functional fill already installed it.
+    if (cycle - lastPurge_ > 100000) {
+        // Lazily drop long-completed entries to bound map growth.
+        for (auto it = outstanding_.begin(); it != outstanding_.end();) {
+            if (it->second <= cycle)
+                it = outstanding_.erase(it);
+            else
+                ++it;
+        }
+        lastPurge_ = cycle;
+    }
+    Addr line = acc.paddr - (acc.paddr % cfg_.l1.lineBytes);
+    auto mshr = outstanding_.find(line);
+    if (mshr != outstanding_.end() && mshr->second > start) {
+        ++stats_.mshrMerges;
+        l1_.access(acc.paddr, acc.isStore);
+        uint32_t lat = static_cast<uint32_t>(mshr->second - cycle);
+        stats_.totalLatency += lat;
+        return lat;
+    }
+
+    latency += cfg_.l1HitLatency;
+    if (l1_.access(acc.paddr, acc.isStore)) {
+        stats_.totalLatency += latency;
+        return latency;
+    }
+
+    // L2.
+    latency += cfg_.l2HitLatency;
+    if (!l2_.access(acc.paddr, acc.isStore)) {
+        // L3 over the interconnect.
+        latency += noc_.transfer(cfg_.l1.lineBytes) + cfg_.l3HitLatency;
+        if (!l3_.access(acc.paddr, acc.isStore))
+            latency += dram_.access(cycle + latency, acc.paddr);
+    }
+
+    outstanding_[line] = cycle + latency;
+    stats_.totalLatency += latency;
+    return latency;
+}
+
+void
+MemoryHierarchy::reset()
+{
+    l1_.reset();
+    l2_.reset();
+    l3_.reset();
+    tlb_.reset();
+    noc_.resetStats();
+    dram_.reset();
+    stats_ = HierarchyStats();
+    bankFree_.assign(cfg_.l1.banks, 0);
+    outstanding_.clear();
+    lastPurge_ = 0;
+}
+
+} // namespace simr::mem

@@ -1,0 +1,2 @@
+// Noc is header-only; see interconnect.h.
+#include "mem/interconnect.h"

@@ -1,0 +1,65 @@
+#include "mem/tlb.h"
+
+#include "common/logging.h"
+
+namespace simr::mem
+{
+
+Tlb::Tlb(TlbConfig cfg)
+    : cfg_(cfg)
+{
+    simr_assert(cfg_.banks > 0 && cfg_.entries >= cfg_.banks,
+                "bad TLB geometry");
+    entriesPerBank_ = cfg_.entries / cfg_.banks;
+    entries_.resize(static_cast<size_t>(cfg_.banks) * entriesPerBank_);
+}
+
+bool
+Tlb::lookup(Addr paddr, uint32_t bank)
+{
+    ++stats_.lookups;
+    ++tick_;
+    bank %= cfg_.banks;
+    Addr page = paddr / cfg_.pageBytes;
+    Entry *base = &entries_[static_cast<size_t>(bank) * entriesPerBank_];
+
+    Entry *victim = base;
+    for (uint32_t i = 0; i < entriesPerBank_; ++i) {
+        Entry &e = base[i];
+        if (e.valid && e.page == page) {
+            e.lru = tick_;
+            return true;
+        }
+        if (!e.valid) {
+            victim = &e;
+        } else if (victim->valid && e.lru < victim->lru) {
+            victim = &e;
+        }
+    }
+
+    ++stats_.misses;
+    victim->valid = true;
+    victim->page = page;
+    victim->lru = tick_;
+    return false;
+}
+
+void
+Tlb::invalidatePage(Addr vaddr)
+{
+    Addr page = vaddr / cfg_.pageBytes;
+    for (auto &e : entries_)
+        if (e.valid && e.page == page)
+            e.valid = false;
+}
+
+void
+Tlb::reset()
+{
+    for (auto &e : entries_)
+        e = Entry();
+    tick_ = 0;
+    stats_ = TlbStats();
+}
+
+} // namespace simr::mem

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Factory declarations for the 14 microservices (internal to the
+ * services library; external users go through buildAllServices()).
+ */
+
+#ifndef SIMR_SERVICES_ALL_SERVICES_H
+#define SIMR_SERVICES_ALL_SERVICES_H
+
+#include <memory>
+
+#include "services/service.h"
+
+namespace simr::svc
+{
+
+std::unique_ptr<Service> makeMcRouter();
+std::unique_ptr<Service> makeMemcBackend();
+std::unique_ptr<Service> makeSearchMid();
+std::unique_ptr<Service> makeSearchLeaf();
+std::unique_ptr<Service> makeHdSearchMid();
+std::unique_ptr<Service> makeHdSearchLeaf();
+std::unique_ptr<Service> makeRecommenderMid();
+std::unique_ptr<Service> makeRecommenderLeaf();
+std::unique_ptr<Service> makePost();
+std::unique_ptr<Service> makeText();
+std::unique_ptr<Service> makeUrlShort();
+std::unique_ptr<Service> makeUniqueId();
+std::unique_ptr<Service> makeUserTag();
+std::unique_ptr<Service> makeUser();
+
+/** Extension workload (Section VI-D): SPMD saxpy kernel. */
+std::unique_ptr<Service> makeGpgpuSaxpy();
+
+} // namespace simr::svc
+
+#endif // SIMR_SERVICES_ALL_SERVICES_H

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * BasicService: a Service whose request model is a callable. All the
+ * concrete microservices are instances of this with a hand-built program
+ * and a request-generation lambda.
+ */
+
+#ifndef SIMR_SERVICES_BASIC_SERVICE_H
+#define SIMR_SERVICES_BASIC_SERVICE_H
+
+#include <functional>
+#include <utility>
+
+#include "services/service.h"
+
+namespace simr::svc
+{
+
+/** Service with a lambda request generator. */
+class BasicService : public Service
+{
+  public:
+    using GenFn = std::function<Request(int64_t, Rng &)>;
+
+    BasicService(ServiceTraits traits, isa::Program prog, GenFn gen)
+        : Service(std::move(traits), std::move(prog)), gen_(std::move(gen))
+    {}
+
+    Request
+    genRequest(int64_t id, Rng &rng) const override
+    {
+        Request r = gen_(id, rng);
+        r.id = id;
+        return r;
+    }
+
+  private:
+    GenFn gen_;
+};
+
+} // namespace simr::svc
+
+#endif // SIMR_SERVICES_BASIC_SERVICE_H

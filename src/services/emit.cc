@@ -1,0 +1,139 @@
+#include "services/emit.h"
+
+using namespace simr::isa;
+
+namespace simr::svc::emit
+{
+
+void
+prologue(ProgramBuilder &b, int slots)
+{
+    b.addImm(R_SP, R_SP, -8 * slots);
+    for (int i = 0; i < slots; ++i)
+        b.store(static_cast<RegId>(R_T0 + (i % 6)), R_SP, 8 * i);
+}
+
+void
+epilogue(ProgramBuilder &b, int slots)
+{
+    for (int i = 0; i < slots; ++i)
+        b.load(static_cast<RegId>(R_T6 + (i % 3)), R_SP, 8 * i);
+    b.addImm(R_SP, R_SP, 8 * slots);
+}
+
+void
+stackWork(ProgramBuilder &b, int words)
+{
+    for (int i = 0; i < words; ++i) {
+        b.hash(R_T8, R_KEY, R_ZERO, i + 1);
+        b.store(R_T8, R_SP, -8 * (i + 1));
+    }
+    for (int i = 0; i < words; ++i) {
+        b.load(R_T7, R_SP, -8 * (i + 1));
+        b.alu(AluKind::Xor, R_T9, R_T9, R_T7);
+    }
+}
+
+void
+parseArgs(ProgramBuilder &b)
+{
+    b.forLoop(R_T9, R_ARGLEN, [&] {
+        b.hash(R_T8, R_KEY, R_T9);
+        b.alu(AluKind::Shl, R_T7, R_T9, R_ZERO, 3);
+        b.alu(AluKind::Add, R_T7, R_T7, R_SP);
+        b.store(R_T8, R_T7, -512);
+        b.alu(AluKind::Xor, R_T6, R_T6, R_T8);
+    });
+}
+
+void
+sharedTableRead(ProgramBuilder &b, RegId dst, int64_t entries,
+                int64_t stride, int64_t table_off)
+{
+    b.hash(R_T8, R_KEY, R_ZERO, table_off);
+    b.alu(AluKind::ModImm, R_T8, R_T8, R_ZERO, entries);
+    b.movImm(R_T7, stride);
+    b.mul(R_T8, R_T8, R_T7);
+    b.alu(AluKind::Add, R_T8, R_T8, R_SHARED);
+    b.load(dst, R_T8, table_off);
+}
+
+void
+sharedConstRead(ProgramBuilder &b, RegId dst, int64_t off)
+{
+    b.load(dst, R_SHARED, off);
+}
+
+void
+lockAcquire(ProgramBuilder &b, RegId addr_reg, int busy_pct, int attempts)
+{
+    // Bounded CAS retry: success clears the remaining-attempts limit.
+    b.movImm(R_T8, attempts);
+    b.forLoop(R_T9, R_T8, [&] {
+        b.atomic(R_T7, addr_reg, 0);
+        b.alu(AluKind::ModImm, R_T7, R_T7, R_ZERO, 100);
+        b.ifImm(R_T7, Cmp::Ge, busy_pct, [&] {
+            b.movImm(R_T8, 0);  // acquired: exit the retry loop
+        });
+    });
+    b.fence();
+}
+
+void
+lockRelease(ProgramBuilder &b, RegId addr_reg)
+{
+    b.fence();
+    b.store(R_ZERO, addr_reg, 0);
+}
+
+void
+heapWritePass(ProgramBuilder &b, RegId cnt, RegId limit, int64_t off)
+{
+    b.forLoop(cnt, limit, [&] {
+        b.alu(AluKind::Shl, R_T8, cnt, R_ZERO, 3);
+        b.alu(AluKind::Add, R_T8, R_T8, R_HEAP);
+        b.hash(R_T7, R_KEY, cnt);
+        b.store(R_T7, R_T8, off);
+    });
+}
+
+void
+heapScan(ProgramBuilder &b, RegId cnt, RegId limit, int64_t off,
+         int rare_pct, int rare_work)
+{
+    b.forLoop(cnt, limit, [&] {
+        b.alu(AluKind::Shl, R_T8, cnt, R_ZERO, 3);
+        b.alu(AluKind::Add, R_T8, R_T8, R_HEAP);
+        b.load(R_T7, R_T8, off);
+        b.alu(AluKind::Add, R_T6, R_T6, R_T7);
+        if (rare_pct > 0) {
+            b.alu(AluKind::ModImm, R_T7, R_T7, R_ZERO, 100);
+            b.ifImm(R_T7, Cmp::Lt, rare_pct, [&] {
+                for (int i = 0; i < rare_work; ++i)
+                    b.alu(AluKind::Xor, R_T6, R_T6, R_T8);
+            });
+        }
+    });
+}
+
+void
+simdKernel(ProgramBuilder &b, RegId cnt, RegId limit, int64_t off,
+           int simd_per_iter, int stride_shift, uint16_t access_size)
+{
+    b.forLoop(cnt, limit, [&] {
+        b.alu(AluKind::Shl, R_T8, cnt, R_ZERO, stride_shift);
+        b.alu(AluKind::Add, R_T8, R_T8, R_HEAP);
+        b.load(R_T7, R_T8, off, access_size);
+        for (int i = 0; i < simd_per_iter; ++i)
+            b.simd(AluKind::Xor, R_T6, R_T6, R_T7, i);
+    });
+}
+
+void
+rpcBoundary(ProgramBuilder &b)
+{
+    b.syscall(Sys::NetRecv);
+    b.syscall(Sys::NetSend);
+}
+
+} // namespace simr::svc::emit

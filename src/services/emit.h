@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Reusable µISA emission idioms shared by the service programs: function
+ * frames, argument parsing, shared-table lookups, fine-grained locks,
+ * private-heap scans and SIMD kernels. These encode the access-pattern
+ * building blocks the paper's workload characterization relies on
+ * (stack-dominated middle tiers, divergent private-heap leaves, shared
+ * read-mostly tables, rare fine-grained locking).
+ *
+ * Register conventions: helpers clobber R_T6..R_T9 (and R_T11, the
+ * builder's immediate scratch); callers keep live values in R_T0..R_T5.
+ */
+
+#ifndef SIMR_SERVICES_EMIT_H
+#define SIMR_SERVICES_EMIT_H
+
+#include "isa/builder.h"
+
+namespace simr::svc::emit
+{
+
+using isa::ProgramBuilder;
+using isa::RegId;
+
+/** Function prologue: allocate a frame and spill `slots` registers. */
+void prologue(ProgramBuilder &b, int slots);
+
+/** Function epilogue: reload `slots` registers and pop the frame. */
+void epilogue(ProgramBuilder &b, int slots);
+
+/** Write then read back `words` stack words (local buffer work). */
+void stackWork(ProgramBuilder &b, int words);
+
+/**
+ * Parse R_ARGLEN input tokens: per token, hash and spill to a stack
+ * buffer. Loop trip count is exactly the request argument length, which
+ * is what makes per-argument-size batching effective.
+ */
+void parseArgs(ProgramBuilder &b);
+
+/**
+ * Read one entry of a shared in-heap table selected by hash(key):
+ * address = R_SHARED + table_off + (hash % entries) * stride.
+ * Different keys touch different entries (divergent but same table).
+ */
+void sharedTableRead(ProgramBuilder &b, RegId dst, int64_t entries,
+                     int64_t stride, int64_t table_off);
+
+/** Read a shared constant: same address in every thread (coalesces). */
+void sharedConstRead(ProgramBuilder &b, RegId dst, int64_t off);
+
+/**
+ * Acquire a fine-grained lock at [addr_reg]: bounded atomic retry loop
+ * where an attempt fails with probability busy_pct %.
+ */
+void lockAcquire(ProgramBuilder &b, RegId addr_reg, int busy_pct,
+                 int attempts);
+
+/** Release the lock at [addr_reg] (fence + store). */
+void lockRelease(ProgramBuilder &b, RegId addr_reg);
+
+/**
+ * Fill pass: store `limit` (register) sequential 8-byte elements to the
+ * private heap at R_HEAP + off.
+ */
+void heapWritePass(ProgramBuilder &b, RegId cnt, RegId limit, int64_t off);
+
+/**
+ * Scan pass: load `limit` sequential elements from R_HEAP + off and
+ * accumulate; with probability rare_pct % per element a short
+ * data-dependent block of `rare_work` extra ALU ops runs (divergent).
+ */
+void heapScan(ProgramBuilder &b, RegId cnt, RegId limit, int64_t off,
+              int rare_pct, int rare_work);
+
+/**
+ * SIMD kernel: `limit` iterations of one wide load + simd_per_iter SIMD
+ * ops, the shape of a vectorized distance/dot-product loop. The load
+ * walks R_HEAP + off + (i << stride_shift) with `access_size`-byte
+ * accesses (32 = one 256-bit vector per iteration).
+ */
+void simdKernel(ProgramBuilder &b, RegId cnt, RegId limit, int64_t off,
+                int simd_per_iter, int stride_shift = 5,
+                uint16_t access_size = 32);
+
+/** Receive-then-send syscall pair (RPC boundary). */
+void rpcBoundary(ProgramBuilder &b);
+
+} // namespace simr::svc::emit
+
+#endif // SIMR_SERVICES_EMIT_H

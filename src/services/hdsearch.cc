@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The HDSearch pair from µSuite (high-dimensional image search). The
+ * middle tier carries a data-dependent branch whose taken side is much
+ * more expensive (the paper applies speculative reconvergence there);
+ * the leaf is a SIMD-heavy k-NN distance kernel over a large private
+ * feature set, making it both data-intensive (batch tuned to 8) and
+ * backend-dominated in energy (only ~39% frontend+OoO in Fig. 10).
+ */
+
+#include "services/all_services.h"
+
+#include "services/basic_service.h"
+#include "services/emit.h"
+
+using namespace simr::isa;
+
+namespace simr::svc
+{
+
+std::unique_ptr<Service>
+makeHdSearchMid()
+{
+    ProgramBuilder b("hdsearch-mid");
+
+    b.beginFunction("main");
+    b.syscall(Sys::NetRecv);
+    emit::prologue(b, 6);
+    emit::parseArgs(b);
+    emit::sharedTableRead(b, R_T0, 1 << 16, 64, 0);
+    emit::sharedTableRead(b, R_T1, 1 << 16, 64, 1 << 22);
+    // Common candidate preparation.
+    b.forLoopImm(R_T2, R_T3, 24, [&] {
+        b.hash(R_T4, R_KEY, R_T2);
+        b.alu(AluKind::Shl, R_T5, R_T2, R_ZERO, 3);
+        b.alu(AluKind::Add, R_T5, R_T5, R_SP);
+        b.store(R_T4, R_T5, -320);
+    });
+    // Data-dependent refinement: ~30% of requests take an expensive
+    // argLen-scaled refinement pass (one side of the branch is far
+    // more costly -- the speculative-reconvergence case in III-B1).
+    b.hash(R_T0, R_KEY, R_ZERO, 31337);
+    b.alu(AluKind::ModImm, R_T0, R_T0, R_ZERO, 100);
+    b.ifImm(R_T0, Cmp::Lt, 30, [&] {
+        b.alu(AluKind::Shl, R_T3, R_ARGLEN, R_ZERO, 3);
+        b.forLoop(R_T2, R_T3, [&] {
+            b.hash(R_T4, R_KEY, R_T2, 7);
+            b.alu(AluKind::Shl, R_T5, R_T2, R_ZERO, 3);
+            b.alu(AluKind::Add, R_T5, R_T5, R_SP);
+            b.store(R_T4, R_T5, -1024);
+            b.alu(AluKind::Xor, R_T1, R_T1, R_T4);
+        });
+    });
+    emit::epilogue(b, 6);
+    b.syscall(Sys::NetSend);
+    b.ret();
+    b.endFunction();
+
+    ServiceTraits t;
+    t.name = "hdsearch-mid";
+    t.group = "HDSearch";
+    t.numApis = 1;
+    t.maxArgLen = 4;
+    return std::make_unique<BasicService>(
+        t, b.finish(), [](int64_t, Rng &rng) {
+            Request r;
+            r.api = 0;
+            r.argLen = 1 + static_cast<int>(rng.below(4));
+            r.key = rng.zipf(1 << 20, 0.9);
+            return r;
+        });
+}
+
+std::unique_ptr<Service>
+makeHdSearchLeaf()
+{
+    ProgramBuilder b("hdsearch-leaf");
+
+    b.beginFunction("main");
+    b.syscall(Sys::NetRecv);
+    emit::prologue(b, 4);
+    // Per query vector (argLen of them): scan 384 feature lines
+    // (64B stride, 32B vector loads -> ~12KB resident per thread) with
+    // a 3-op SIMD distance body; rare top-k update branch.
+    b.forLoop(R_T0, R_ARGLEN, [&] {
+        b.movImm(R_T5, 384);
+        emit::simdKernel(b, R_T1, R_T5, 0, 4, 6, 32);
+        // Occasional top-k insertion (data dependent).
+        b.hash(R_T2, R_KEY, R_T0, 17);
+        b.alu(AluKind::ModImm, R_T2, R_T2, R_ZERO, 100);
+        b.ifImm(R_T2, Cmp::Lt, 6, [&] {
+            emit::stackWork(b, 3);
+        });
+    });
+    emit::epilogue(b, 4);
+    b.syscall(Sys::NetSend);
+    b.ret();
+    b.endFunction();
+
+    ServiceTraits t;
+    t.name = "hdsearch-leaf";
+    t.group = "HDSearch";
+    t.numApis = 1;
+    t.maxArgLen = 4;
+    t.dataIntensive = true;
+    t.tunedBatch = 8;
+    return std::make_unique<BasicService>(
+        t, b.finish(), [](int64_t, Rng &rng) {
+            Request r;
+            r.api = 0;
+            r.argLen = 1 + static_cast<int>(rng.below(4));
+            r.key = rng.zipf(1 << 20, 0.9);
+            return r;
+        });
+}
+
+} // namespace simr::svc

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * The Memcached pair: McRouter (request router) and the memcached
+ * backend with get/set APIs. Modeled after the µSuite / DeathStarBench
+ * components the paper evaluates: the router hashes keys to shards, the
+ * backend walks hash-bucket chains, hits ~90% of gets, and takes a
+ * fine-grained bucket lock on sets.
+ */
+
+#include "services/all_services.h"
+
+#include "services/basic_service.h"
+#include "services/emit.h"
+
+using namespace simr::isa;
+
+namespace simr::svc
+{
+
+std::unique_ptr<Service>
+makeMcRouter()
+{
+    ProgramBuilder b("mcrouter");
+
+    b.beginFunction("main");
+    b.syscall(Sys::NetRecv);
+    emit::prologue(b, 4);
+    emit::parseArgs(b);
+    // Consistent-hash ring lookup: key hash into the shard table.
+    emit::sharedTableRead(b, R_T0, 64, 64, 0);
+    b.alu(AluKind::ModImm, R_T1, R_T0, R_ZERO, 8);
+    // Build the forwarded request header on the stack.
+    emit::stackWork(b, 6);
+    emit::epilogue(b, 4);
+    b.syscall(Sys::NetSend);
+    b.ret();
+    b.endFunction();
+
+    ServiceTraits t;
+    t.name = "mcrouter";
+    t.group = "Memcached";
+    t.numApis = 1;
+    t.maxArgLen = 16;
+    return std::make_unique<BasicService>(
+        t, b.finish(), [](int64_t, Rng &rng) {
+            Request r;
+            r.api = 0;
+            r.argLen = 1 + static_cast<int>(rng.zipf(16, 0.7));
+            r.key = rng.zipf(1 << 20, 0.9);
+            return r;
+        });
+}
+
+std::unique_ptr<Service>
+makeMemcBackend()
+{
+    ProgramBuilder b("memc");
+
+    b.beginFunction("get_fn");
+    emit::prologue(b, 6);
+    emit::sharedTableRead(b, R_T0, 1 << 16, 64, 0);
+    // Chain walk: bucket depth is key-dependent (mostly 1, rarely 2).
+    b.hash(R_T1, R_KEY, R_ZERO, 77);
+    b.alu(AluKind::ModImm, R_T1, R_T1, R_ZERO, 16);
+    b.ifElseImm(R_T1, Cmp::Eq, 0,
+        [&] { b.movImm(R_T1, 2); },
+        [&] { b.movImm(R_T1, 1); });
+    b.forLoop(R_T2, R_T1, [&] {
+        b.hash(R_T3, R_KEY, R_T2, 123);
+        b.alu(AluKind::ModImm, R_T3, R_T3, R_ZERO, 1 << 16);
+        b.alu(AluKind::Shl, R_T3, R_T3, R_ZERO, 6);
+        b.alu(AluKind::Add, R_T3, R_T3, R_SHARED);
+        b.load(R_T0, R_T3, 0);
+    });
+    // ~90% of gets hit; hits copy the value onto the response stack,
+    // misses return empty.
+    b.hash(R_T5, R_KEY, R_ZERO, 999);
+    b.alu(AluKind::ModImm, R_T5, R_T5, R_ZERO, 100);
+    b.ifElseImm(R_T5, Cmp::Lt, 90,
+        [&] {
+            b.forLoop(R_T2, R_ARGLEN, [&] {
+                b.hash(R_T3, R_KEY, R_T2, 5);
+                b.alu(AluKind::ModImm, R_T3, R_T3, R_ZERO, 1 << 22);
+                b.alu(AluKind::Add, R_T3, R_T3, R_SHARED);
+                b.load(R_T4, R_T3, 1 << 28);
+                b.alu(AluKind::Shl, R_T3, R_T2, R_ZERO, 3);
+                b.alu(AluKind::Add, R_T3, R_T3, R_SP);
+                b.store(R_T4, R_T3, -256);
+            });
+        },
+        [&] {
+            emit::stackWork(b, 1);
+        });
+    // Response serialization + checksum over the value.
+    emit::stackWork(b, 10);
+    b.forLoop(R_T2, R_ARGLEN, [&] {
+        b.hash(R_T3, R_T6, R_T2, 21);
+        b.alu(AluKind::Xor, R_T6, R_T6, R_T3);
+        b.alu(AluKind::Shl, R_T4, R_T3, R_ZERO, 13);
+        b.alu(AluKind::Or, R_T5, R_T5, R_T4);
+    });
+    emit::epilogue(b, 6);
+    b.ret();
+    b.endFunction();
+
+    b.beginFunction("set_fn");
+    emit::prologue(b, 6);
+    emit::sharedTableRead(b, R_T0, 1 << 16, 64, 0);
+    // Fine-grained bucket lock, then write the value words.
+    b.hash(R_T5, R_KEY, R_ZERO, 55);
+    b.alu(AluKind::ModImm, R_T5, R_T5, R_ZERO, 1 << 16);
+    b.alu(AluKind::Shl, R_T5, R_T5, R_ZERO, 6);
+    b.alu(AluKind::Add, R_T5, R_T5, R_SHARED);
+    emit::lockAcquire(b, R_T5, 5, 3);
+    b.forLoop(R_T2, R_ARGLEN, [&] {
+        b.hash(R_T3, R_KEY, R_T2, 5);
+        b.alu(AluKind::Shl, R_T4, R_T2, R_ZERO, 3);
+        b.alu(AluKind::Add, R_T4, R_T4, R_T5);
+        b.store(R_T3, R_T4, 1 << 28);
+    });
+    emit::lockRelease(b, R_T5);
+    // Post-write bookkeeping (LRU update, stats) outside the lock.
+    emit::stackWork(b, 8);
+    emit::epilogue(b, 6);
+    b.ret();
+    b.endFunction();
+
+    b.beginFunction("main");
+    b.syscall(Sys::NetRecv);
+    emit::prologue(b, 4);
+    b.apiSwitch({
+        [&] { b.callFn("get_fn"); },
+        [&] { b.callFn("set_fn"); },
+    });
+    emit::epilogue(b, 4);
+    b.syscall(Sys::NetSend);
+    b.ret();
+    b.endFunction();
+
+    ServiceTraits t;
+    t.name = "memc";
+    t.group = "Memcached";
+    t.numApis = 2;
+    t.maxArgLen = 8;
+    return std::make_unique<BasicService>(
+        t, b.finish(), [](int64_t, Rng &rng) {
+            Request r;
+            r.api = rng.chance(0.7) ? 0 : 1;  // 70% get, 30% set
+            r.argLen = 1 + static_cast<int>(rng.zipf(8, 0.8));
+            r.key = rng.zipf(1 << 20, 0.99);  // popular keys dominate
+            return r;
+        });
+}
+
+} // namespace simr::svc

@@ -1,0 +1,344 @@
+/**
+ * @file
+ * The Post family from DeathStarBench's social network: the post
+ * storage service (4 RPC methods with very different code paths -- the
+ * per-API batching win of Fig. 11), the text processing service (loop
+ * work proportional to text length -- the per-argument-size win), the
+ * URL shortener, the unique-id generator (tiny, branch-free, near-ideal
+ * SIMT efficiency) and the user-tagging service. All are middle-tier
+ * nanoservices whose traffic is dominated by stack accesses (Fig. 14).
+ */
+
+#include "services/all_services.h"
+
+#include "services/basic_service.h"
+#include "services/emit.h"
+
+using namespace simr::isa;
+
+namespace simr::svc
+{
+
+std::unique_ptr<Service>
+makePost()
+{
+    ProgramBuilder b("post");
+
+    // Helper functions give the service its deep call/stack profile.
+    b.beginFunction("validate_fn");
+    emit::prologue(b, 8);
+    emit::stackWork(b, 18);
+    emit::epilogue(b, 8);
+    b.ret();
+    b.endFunction();
+
+    b.beginFunction("render_fn");
+    emit::prologue(b, 8);
+    emit::stackWork(b, 28);
+    emit::sharedTableRead(b, R_T0, 1 << 16, 64, 0);
+    emit::epilogue(b, 8);
+    b.ret();
+    b.endFunction();
+
+    b.beginFunction("persist_fn");
+    emit::prologue(b, 8);
+    b.hash(R_T5, R_KEY, R_ZERO, 41);
+    b.alu(AluKind::ModImm, R_T5, R_T5, R_ZERO, 1 << 16);
+    b.alu(AluKind::Shl, R_T5, R_T5, R_ZERO, 6);
+    b.alu(AluKind::Add, R_T5, R_T5, R_SHARED);
+    emit::lockAcquire(b, R_T5, 4, 3);
+    b.forLoopImm(R_T0, R_T1, 8, [&] {
+        b.hash(R_T2, R_KEY, R_T0, 9);
+        b.alu(AluKind::Shl, R_T3, R_T0, R_ZERO, 3);
+        b.alu(AluKind::Add, R_T3, R_T3, R_T5);
+        b.store(R_T2, R_T3, 1 << 28);
+    });
+    emit::lockRelease(b, R_T5);
+    emit::epilogue(b, 8);
+    b.ret();
+    b.endFunction();
+
+    b.beginFunction("main");
+    b.syscall(Sys::NetRecv);
+    emit::prologue(b, 6);
+    b.apiSwitch({
+        // newPost: validate + render + persist (longest path).
+        [&] {
+            b.callFn("validate_fn");
+            emit::stackWork(b, 10);
+            b.callFn("render_fn");
+            b.callFn("persist_fn");
+        },
+        // getPostByUser: lookup + render.
+        [&] {
+            emit::sharedTableRead(b, R_T0, 1 << 16, 64, 1 << 22);
+            b.callFn("render_fn");
+        },
+        // getTimeline: gather several posts.
+        [&] {
+            b.forLoopImm(R_T0, R_T1, 6, [&] {
+                b.hash(R_T2, R_KEY, R_T0);
+                b.alu(AluKind::ModImm, R_T2, R_T2, R_ZERO, 1 << 16);
+                b.alu(AluKind::Shl, R_T2, R_T2, R_ZERO, 6);
+                b.alu(AluKind::Add, R_T2, R_T2, R_SHARED);
+                b.load(R_T3, R_T2, 1 << 22);
+                b.alu(AluKind::Shl, R_T4, R_T0, R_ZERO, 3);
+                b.alu(AluKind::Add, R_T4, R_T4, R_SP);
+                b.store(R_T3, R_T4, -192);
+            });
+            b.callFn("render_fn");
+        },
+        // likePost: tiny counter bump.
+        [&] {
+            b.hash(R_T5, R_KEY, R_ZERO, 43);
+            b.alu(AluKind::ModImm, R_T5, R_T5, R_ZERO, 1 << 16);
+            b.alu(AluKind::Shl, R_T5, R_T5, R_ZERO, 6);
+            b.alu(AluKind::Add, R_T5, R_T5, R_SHARED);
+            b.atomic(R_T0, R_T5, 1 << 28);
+            emit::stackWork(b, 2);
+        },
+    });
+    emit::epilogue(b, 6);
+    b.syscall(Sys::NetSend);
+    b.ret();
+    b.endFunction();
+
+    ServiceTraits t;
+    t.name = "post";
+    t.group = "Post";
+    t.numApis = 4;
+    t.maxArgLen = 4;
+    return std::make_unique<BasicService>(
+        t, b.finish(), [](int64_t, Rng &rng) {
+            Request r;
+            r.api = static_cast<int>(rng.below(4));
+            r.argLen = 1 + static_cast<int>(rng.below(4));
+            r.key = rng.zipf(1 << 16, 0.9);
+            return r;
+        });
+}
+
+std::unique_ptr<Service>
+makeText()
+{
+    ProgramBuilder b("text");
+
+    b.beginFunction("main");
+    b.syscall(Sys::NetRecv);
+    emit::prologue(b, 6);
+    // Tokenize + filter: work is linear in text length, with per-token
+    // stack buffering and dictionary lookups.
+    b.forLoop(R_T0, R_ARGLEN, [&] {
+        b.hash(R_T1, R_KEY, R_T0);
+        b.alu(AluKind::Shl, R_T2, R_T0, R_ZERO, 3);
+        b.alu(AluKind::Add, R_T2, R_T2, R_SP);
+        b.store(R_T1, R_T2, -768);
+        b.store(R_T0, R_T2, -1280);
+        // Common tokens hit the hot stopword/term table (L1-resident);
+        // the long-tail dictionary is consulted once per request below.
+        b.alu(AluKind::ModImm, R_T3, R_T1, R_ZERO, 1 << 10);
+        b.alu(AluKind::Shl, R_T3, R_T3, R_ZERO, 6);
+        b.alu(AluKind::Add, R_T3, R_T3, R_SHARED);
+        b.load(R_T4, R_T3, 0);
+        b.alu(AluKind::Xor, R_T5, R_T5, R_T4);
+        b.load(R_T4, R_T2, -768);
+    });
+    // Emit the processed text (stack-resident).
+    emit::stackWork(b, 10);
+    emit::epilogue(b, 6);
+    b.syscall(Sys::NetSend);
+    b.ret();
+    b.endFunction();
+
+    ServiceTraits t;
+    t.name = "text";
+    t.group = "Post";
+    t.numApis = 1;
+    t.maxArgLen = 32;
+    return std::make_unique<BasicService>(
+        t, b.finish(), [](int64_t, Rng &rng) {
+            Request r;
+            r.api = 0;
+            r.argLen = 1 + static_cast<int>(rng.zipf(32, 1.2));
+            r.key = rng.zipf(1 << 16, 0.9);
+            return r;
+        });
+}
+
+std::unique_ptr<Service>
+makeUrlShort()
+{
+    ProgramBuilder b("urlshort");
+
+    b.beginFunction("main");
+    b.syscall(Sys::NetRecv);
+    emit::prologue(b, 4);
+    b.apiSwitch({
+        // shorten: hash the URL, insert under a slot lock.
+        [&] {
+            b.forLoopImm(R_T0, R_T1, 18, [&] {
+                b.hash(R_T2, R_KEY, R_T0, 11);
+                b.alu(AluKind::Xor, R_T3, R_T3, R_T2);
+                b.alu(AluKind::Shr, R_T4, R_T2, R_ZERO, 11);
+                b.alu(AluKind::Or, R_T6, R_T6, R_T4);
+            });
+            b.hash(R_T5, R_T3, R_ZERO, 21);
+            b.alu(AluKind::ModImm, R_T5, R_T5, R_ZERO, 1 << 16);
+            b.alu(AluKind::Shl, R_T5, R_T5, R_ZERO, 6);
+            b.alu(AluKind::Add, R_T5, R_T5, R_SHARED);
+            emit::lockAcquire(b, R_T5, 3, 3);
+            b.store(R_T3, R_T5, 8);
+            emit::lockRelease(b, R_T5);
+            emit::stackWork(b, 10);
+        },
+        // resolve: table lookup, ~95% found.
+        [&] {
+            emit::sharedTableRead(b, R_T0, 1 << 16, 64, 0);
+            b.hash(R_T1, R_KEY, R_ZERO, 31);
+            b.alu(AluKind::ModImm, R_T1, R_T1, R_ZERO, 100);
+            b.ifElseImm(R_T1, Cmp::Lt, 95,
+                [&] { emit::stackWork(b, 9); },
+                [&] { emit::stackWork(b, 2); });
+        },
+    });
+    emit::epilogue(b, 4);
+    b.syscall(Sys::NetSend);
+    b.ret();
+    b.endFunction();
+
+    ServiceTraits t;
+    t.name = "urlshort";
+    t.group = "Post";
+    t.numApis = 2;
+    t.maxArgLen = 4;
+    return std::make_unique<BasicService>(
+        t, b.finish(), [](int64_t, Rng &rng) {
+            Request r;
+            r.api = rng.chance(0.5) ? 0 : 1;
+            r.argLen = 1 + static_cast<int>(rng.below(4));
+            r.key = rng.zipf(1 << 16, 0.9);
+            return r;
+        });
+}
+
+std::unique_ptr<Service>
+makeUniqueId()
+{
+    ProgramBuilder b("uniqueid");
+
+    b.beginFunction("main");
+    b.syscall(Sys::NetRecv);
+    emit::prologue(b, 2);
+    // Snowflake-style id: one shared atomic counter + pure-register
+    // formatting. No data-dependent branches: near-perfect SIMT
+    // efficiency and high IPC (the sub-batch sensitivity stressor).
+    b.atomic(R_T0, R_SHARED, 1 << 23);
+    b.forLoopImm(R_T1, R_T2, 24, [&] {
+        b.hash(R_T3, R_T0, R_T1);
+        b.alu(AluKind::Shl, R_T4, R_T3, R_ZERO, 7);
+        b.alu(AluKind::Xor, R_T0, R_T0, R_T4);
+        b.alu(AluKind::Or, R_T5, R_T5, R_T3);
+    });
+    emit::stackWork(b, 4);
+    emit::epilogue(b, 2);
+    b.syscall(Sys::NetSend);
+    b.ret();
+    b.endFunction();
+
+    ServiceTraits t;
+    t.name = "uniqueid";
+    t.group = "Post";
+    t.numApis = 1;
+    t.maxArgLen = 1;
+    return std::make_unique<BasicService>(
+        t, b.finish(), [](int64_t, Rng &rng) {
+            Request r;
+            r.api = 0;
+            r.argLen = 1;
+            r.key = rng.zipf(1 << 16, 0.9);
+            return r;
+        });
+}
+
+std::unique_ptr<Service>
+makeUserTag()
+{
+    ProgramBuilder b("usertag");
+
+    b.beginFunction("main");
+    b.syscall(Sys::NetRecv);
+    emit::prologue(b, 4);
+    b.apiSwitch({
+        // tag: insert under a per-user lock.
+        [&] {
+            b.hash(R_T5, R_KEY, R_ZERO, 61);
+            b.alu(AluKind::ModImm, R_T5, R_T5, R_ZERO, 1 << 16);
+            b.alu(AluKind::Shl, R_T5, R_T5, R_ZERO, 6);
+            b.alu(AluKind::Add, R_T5, R_T5, R_SHARED);
+            emit::lockAcquire(b, R_T5, 4, 3);
+            b.forLoop(R_T0, R_ARGLEN, [&] {
+                b.hash(R_T1, R_KEY, R_T0, 13);
+                b.alu(AluKind::Shl, R_T2, R_T0, R_ZERO, 3);
+                b.alu(AluKind::Add, R_T2, R_T2, R_T5);
+                b.store(R_T1, R_T2, 1 << 22);
+            });
+            emit::lockRelease(b, R_T5);
+            // Tag-graph update + notification fan-out serialization.
+            emit::stackWork(b, 12);
+            b.forLoop(R_T0, R_ARGLEN, [&] {
+                b.hash(R_T1, R_KEY, R_T0, 77);
+                b.alu(AluKind::Xor, R_T2, R_T2, R_T1);
+                b.alu(AluKind::Shl, R_T3, R_T1, R_ZERO, 9);
+                b.alu(AluKind::Or, R_T4, R_T4, R_T3);
+            });
+        },
+        // untag: lookup + conditional removal.
+        [&] {
+            emit::sharedTableRead(b, R_T0, 1 << 16, 64, 1 << 22);
+            b.alu(AluKind::ModImm, R_T1, R_T0, R_ZERO, 100);
+            b.ifImm(R_T1, Cmp::Lt, 80, [&] {
+                b.hash(R_T5, R_KEY, R_ZERO, 61);
+                b.alu(AluKind::ModImm, R_T5, R_T5, R_ZERO, 1 << 16);
+                b.alu(AluKind::Shl, R_T5, R_T5, R_ZERO, 6);
+                b.alu(AluKind::Add, R_T5, R_T5, R_SHARED);
+                b.store(R_ZERO, R_T5, 1 << 22);
+            });
+            emit::stackWork(b, 10);
+        },
+        // list: read out the tag set.
+        [&] {
+            b.forLoopImm(R_T0, R_T1, 8, [&] {
+                b.hash(R_T2, R_KEY, R_T0);
+                b.alu(AluKind::ModImm, R_T2, R_T2, R_ZERO, 1 << 16);
+                b.alu(AluKind::Shl, R_T2, R_T2, R_ZERO, 6);
+                b.alu(AluKind::Add, R_T2, R_T2, R_SHARED);
+                b.load(R_T3, R_T2, 1 << 22);
+                b.alu(AluKind::Shl, R_T4, R_T0, R_ZERO, 3);
+                b.alu(AluKind::Add, R_T4, R_T4, R_SP);
+                b.store(R_T3, R_T4, -128);
+            });
+            emit::stackWork(b, 8);
+        },
+    });
+    emit::epilogue(b, 4);
+    b.syscall(Sys::NetSend);
+    b.ret();
+    b.endFunction();
+
+    ServiceTraits t;
+    t.name = "usertag";
+    t.group = "Post";
+    t.numApis = 3;
+    t.maxArgLen = 4;
+    return std::make_unique<BasicService>(
+        t, b.finish(), [](int64_t, Rng &rng) {
+            Request r;
+            double u = rng.uniform();
+            r.api = u < 0.4 ? 0 : (u < 0.7 ? 1 : 2);
+            r.argLen = 1 + static_cast<int>(rng.below(4));
+            r.key = rng.zipf(1 << 16, 0.9);
+            return r;
+        });
+}
+
+} // namespace simr::svc

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The Recommender pair from µSuite: a middle tier that gathers feature
+ * vectors for candidate items and a leaf that scores candidates with a
+ * vectorized dot-product kernel (moderately SIMD-heavy: ~60% of CPU
+ * energy in frontend+OoO per Fig. 10, between the integer services and
+ * HDSearch-leaf).
+ */
+
+#include "services/all_services.h"
+
+#include "services/basic_service.h"
+#include "services/emit.h"
+
+using namespace simr::isa;
+
+namespace simr::svc
+{
+
+std::unique_ptr<Service>
+makeRecommenderMid()
+{
+    ProgramBuilder b("recommender-mid");
+
+    b.beginFunction("main");
+    b.syscall(Sys::NetRecv);
+    emit::prologue(b, 6);
+    emit::parseArgs(b);
+    // Gather the user's candidate list: entries are contiguous in the
+    // shared item table (row-major lists), so popular users' lists stay
+    // cache-resident.
+    b.hash(R_T5, R_KEY, R_ZERO, 0x77);
+    b.alu(AluKind::ModImm, R_T5, R_T5, R_ZERO, 1 << 13);
+    b.forLoopImm(R_T0, R_T1, 8, [&] {
+        b.alu(AluKind::Add, R_T2, R_T5, R_T0);
+        b.alu(AluKind::Shl, R_T2, R_T2, R_ZERO, 6);
+        b.alu(AluKind::Add, R_T2, R_T2, R_SHARED);
+        b.load(R_T3, R_T2, 0);
+        b.alu(AluKind::Shl, R_T4, R_T0, R_ZERO, 3);
+        b.alu(AluKind::Add, R_T4, R_T4, R_SP);
+        b.store(R_T3, R_T4, -256);
+    });
+    // Ranking pass over the gathered candidates.
+    b.forLoopImm(R_T0, R_T1, 24, [&] {
+        b.alu(AluKind::ModImm, R_T2, R_T0, R_ZERO, 8);
+        b.alu(AluKind::Shl, R_T2, R_T2, R_ZERO, 3);
+        b.alu(AluKind::Add, R_T2, R_T2, R_SP);
+        b.load(R_T3, R_T2, -256);
+        b.hash(R_T4, R_T3, R_T0, 9);
+        b.alu(AluKind::Max, R_T6, R_T6, R_T4);
+    });
+    emit::stackWork(b, 6);
+    emit::epilogue(b, 6);
+    b.syscall(Sys::NetSend);
+    b.ret();
+    b.endFunction();
+
+    ServiceTraits t;
+    t.name = "recommender-mid";
+    t.group = "Recommender";
+    t.numApis = 1;
+    t.maxArgLen = 4;
+    return std::make_unique<BasicService>(
+        t, b.finish(), [](int64_t, Rng &rng) {
+            Request r;
+            r.api = 0;
+            r.argLen = 1 + static_cast<int>(rng.below(4));
+            r.key = rng.zipf(1 << 20, 0.9);
+            return r;
+        });
+}
+
+std::unique_ptr<Service>
+makeRecommenderLeaf()
+{
+    ProgramBuilder b("recommender-leaf");
+
+    b.beginFunction("main");
+    b.syscall(Sys::NetRecv);
+    emit::prologue(b, 4);
+    // Score 64*argLen candidates: wide load + 2 SIMD MAC ops each over
+    // an 8KB private embedding slab.
+    b.alu(AluKind::Shl, R_T5, R_ARGLEN, R_ZERO, 5);
+    emit::simdKernel(b, R_T0, R_T5, 0, 2, 5, 32);
+    // Reduce and pick the top recommendation.
+    b.forLoopImm(R_T0, R_T1, 12, [&] {
+        b.hash(R_T2, R_KEY, R_T0, 3);
+        b.alu(AluKind::Max, R_T3, R_T3, R_T2);
+    });
+    emit::stackWork(b, 4);
+    emit::epilogue(b, 4);
+    b.syscall(Sys::NetSend);
+    b.ret();
+    b.endFunction();
+
+    ServiceTraits t;
+    t.name = "recommender-leaf";
+    t.group = "Recommender";
+    t.numApis = 1;
+    t.maxArgLen = 4;
+    return std::make_unique<BasicService>(
+        t, b.finish(), [](int64_t, Rng &rng) {
+            Request r;
+            r.api = 0;
+            r.argLen = 1 + static_cast<int>(rng.below(4));
+            r.key = rng.zipf(1 << 20, 0.9);
+            return r;
+        });
+}
+
+} // namespace simr::svc

@@ -1,0 +1,56 @@
+#include "services/service.h"
+
+#include "common/logging.h"
+#include "services/all_services.h"
+
+namespace simr::svc
+{
+
+const std::vector<std::string> &
+serviceNames()
+{
+    static const std::vector<std::string> names = {
+        "mcrouter", "memc",
+        "search-mid", "search-leaf",
+        "hdsearch-mid", "hdsearch-leaf",
+        "recommender-mid", "recommender-leaf",
+        "post", "text", "urlshort", "uniqueid", "usertag",
+        "user",
+    };
+    return names;
+}
+
+std::unique_ptr<Service>
+buildService(const std::string &name)
+{
+    if (name == "mcrouter") return makeMcRouter();
+    if (name == "memc") return makeMemcBackend();
+    if (name == "search-mid") return makeSearchMid();
+    if (name == "search-leaf") return makeSearchLeaf();
+    if (name == "hdsearch-mid") return makeHdSearchMid();
+    if (name == "hdsearch-leaf") return makeHdSearchLeaf();
+    if (name == "recommender-mid") return makeRecommenderMid();
+    if (name == "recommender-leaf") return makeRecommenderLeaf();
+    if (name == "post") return makePost();
+    if (name == "text") return makeText();
+    if (name == "urlshort") return makeUrlShort();
+    if (name == "uniqueid") return makeUniqueId();
+    if (name == "usertag") return makeUserTag();
+    if (name == "user") return makeUser();
+    if (name == "gpgpu-saxpy") return makeGpgpuSaxpy();
+    return nullptr;
+}
+
+std::vector<std::unique_ptr<Service>>
+buildAllServices()
+{
+    std::vector<std::unique_ptr<Service>> all;
+    for (const auto &n : serviceNames()) {
+        auto s = buildService(n);
+        simr_assert(s != nullptr, "registry out of sync");
+        all.push_back(std::move(s));
+    }
+    return all;
+}
+
+} // namespace simr::svc

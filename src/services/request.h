@@ -1,0 +1,29 @@
+/**
+ * @file
+ * A client request as seen by the SIMR-aware server: the API being
+ * invoked, the argument length (query word count, value size class, ...)
+ * and the request key. The batching policies group on exactly the fields
+ * the paper's server can observe: API id and argument size.
+ */
+
+#ifndef SIMR_SERVICES_REQUEST_H
+#define SIMR_SERVICES_REQUEST_H
+
+#include <cstdint>
+
+namespace simr::svc
+{
+
+/** One RPC/HTTP request. */
+struct Request
+{
+    int64_t id = 0;        ///< arrival sequence number
+    int api = 0;           ///< service API index
+    int argLen = 1;        ///< argument size class (observable by server)
+    uint64_t key = 0;      ///< payload key (drives data-dependent paths)
+    double arrivalUs = 0;  ///< arrival time (system-level experiments)
+};
+
+} // namespace simr::svc
+
+#endif // SIMR_SERVICES_REQUEST_H

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * The Search pair from µSuite: a middle tier that parses the query and
+ * fans out to leaves, and a data-intensive leaf that scans per-query
+ * posting lists in its private heap. The leaf's footprint scales with
+ * the query length, which is why Fig. 15 tunes it down to a batch of 8.
+ */
+
+#include "services/all_services.h"
+
+#include "services/basic_service.h"
+#include "services/emit.h"
+
+using namespace simr::isa;
+
+namespace simr::svc
+{
+
+std::unique_ptr<Service>
+makeSearchMid()
+{
+    ProgramBuilder b("search-mid");
+
+    b.beginFunction("main");
+    b.syscall(Sys::NetRecv);
+    emit::prologue(b, 6);
+    emit::parseArgs(b);
+    // Per query word: dictionary lookup + request assembly on the stack.
+    b.forLoop(R_T0, R_ARGLEN, [&] {
+        b.hash(R_T1, R_KEY, R_T0);
+        b.alu(AluKind::ModImm, R_T1, R_T1, R_ZERO, 1 << 10);
+        b.alu(AluKind::Shl, R_T1, R_T1, R_ZERO, 6);
+        b.alu(AluKind::Add, R_T1, R_T1, R_SHARED);
+        b.load(R_T2, R_T1, 0);
+        b.alu(AluKind::Shl, R_T3, R_T0, R_ZERO, 3);
+        b.alu(AluKind::Add, R_T3, R_T3, R_SP);
+        b.store(R_T2, R_T3, -384);
+        b.alu(AluKind::Xor, R_T4, R_T4, R_T2);
+    });
+    // Merge phase over a fixed-size partial-result buffer.
+    b.forLoopImm(R_T0, R_T5, 32, [&] {
+        b.alu(AluKind::Shl, R_T1, R_T0, R_ZERO, 3);
+        b.alu(AluKind::Add, R_T1, R_T1, R_SP);
+        b.load(R_T2, R_T1, -896);
+        b.alu(AluKind::Xor, R_T4, R_T4, R_T2);
+        b.store(R_T4, R_T1, -896);
+    });
+    emit::epilogue(b, 6);
+    b.syscall(Sys::NetSend);
+    b.ret();
+    b.endFunction();
+
+    ServiceTraits t;
+    t.name = "search-mid";
+    t.group = "Search";
+    t.numApis = 1;
+    t.maxArgLen = 8;
+    return std::make_unique<BasicService>(
+        t, b.finish(), [](int64_t, Rng &rng) {
+            Request r;
+            r.api = 0;
+            r.argLen = 1 + static_cast<int>(rng.zipf(8, 0.8));
+            r.key = rng.zipf(1 << 20, 0.9);
+            return r;
+        });
+}
+
+std::unique_ptr<Service>
+makeSearchLeaf()
+{
+    ProgramBuilder b("search-leaf");
+
+    b.beginFunction("main");
+    b.syscall(Sys::NetRecv);
+    emit::prologue(b, 6);
+    // Posting-list length scales with query length: argLen * 96
+    // 8-byte elements (1..32 words -> 0.75KB..24KB footprint).
+    b.movImm(R_T4, 96);
+    b.mul(R_T5, R_ARGLEN, R_T4);
+    // Build the intermediate scores array, then scan it.
+    emit::heapWritePass(b, R_T0, R_T5, 0);
+    emit::heapScan(b, R_T0, R_T5, 0, 2, 3);
+    // Top-k selection on the stack.
+    emit::stackWork(b, 8);
+    emit::epilogue(b, 6);
+    b.syscall(Sys::NetSend);
+    b.ret();
+    b.endFunction();
+
+    ServiceTraits t;
+    t.name = "search-leaf";
+    t.group = "Search";
+    t.numApis = 1;
+    t.maxArgLen = 32;
+    t.dataIntensive = true;
+    t.tunedBatch = 8;
+    return std::make_unique<BasicService>(
+        t, b.finish(), [](int64_t, Rng &rng) {
+            Request r;
+            r.api = 0;
+            // Heavy-tailed query lengths: most queries are short, the
+            // occasional long one dominates a naive batch.
+            r.argLen = 1 + static_cast<int>(rng.zipf(32, 1.2));
+            r.key = rng.zipf(1 << 20, 0.9);
+            return r;
+        });
+}
+
+} // namespace simr::svc

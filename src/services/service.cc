@@ -1,0 +1,25 @@
+#include "services/service.h"
+
+#include "mem/address_space.h"
+
+namespace simr::svc
+{
+
+trace::ThreadInit
+makeThreadInit(const Service &svc, const Request &req, int lane,
+               uint64_t gtid, const mem::HeapAllocator &alloc)
+{
+    trace::ThreadInit init;
+    init.api = req.api;
+    init.argLen = req.argLen;
+    init.key = req.key;
+    init.reqId = req.id;
+    init.tid = lane;
+    init.sharedBase = mem::AddressSpace::kSharedHeapBase;
+    init.stackTop = mem::AddressSpace::stackTop(gtid);
+    init.heapBase = alloc.arenaBase(gtid);
+    init.dataSeed = svc.dataSeed();
+    return init;
+}
+
+} // namespace simr::svc

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Service: one microservice under study. Couples a µISA Program (the
+ * service code) with a request generator (the service's client-visible
+ * API mix, argument-length distribution and key popularity) and the
+ * traits the experiments need (group label for figures, tuned batch
+ * size, data-intensity classification).
+ */
+
+#ifndef SIMR_SERVICES_SERVICE_H
+#define SIMR_SERVICES_SERVICE_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "isa/program.h"
+#include "mem/allocator.h"
+#include "services/request.h"
+#include "trace/interp.h"
+
+namespace simr::svc
+{
+
+/** Static description of a service used by figures and tuning. */
+struct ServiceTraits
+{
+    std::string name;       ///< figure label, e.g. "search-leaf"
+    std::string group;      ///< figure grouping, e.g. "Search"
+    int numApis = 1;
+    int maxArgLen = 8;
+    bool dataIntensive = false;  ///< big private-heap footprint
+    int tunedBatch = 32;         ///< batch size after Fig. 15 tuning
+};
+
+/** One microservice: program + request model. */
+class Service
+{
+  public:
+    virtual ~Service() = default;
+
+    const ServiceTraits &traits() const { return traits_; }
+    const isa::Program &program() const { return prog_; }
+
+    /** Draw the next client request. */
+    virtual Request genRequest(int64_t id, Rng &rng) const = 0;
+
+    /** Seed that parameterizes this service's synthetic data values. */
+    uint64_t dataSeed() const { return dataSeed_; }
+
+  protected:
+    Service(ServiceTraits traits, isa::Program prog)
+        : traits_(std::move(traits)), prog_(std::move(prog)),
+          dataSeed_(mix64(std::hash<std::string>{}(traits_.name)))
+    {}
+
+    ServiceTraits traits_;
+    isa::Program prog_;
+    uint64_t dataSeed_;
+};
+
+/**
+ * Build the initial thread context for running `req` on hardware thread
+ * slot `gtid` (lane `lane` of its batch), with heap arenas assigned by
+ * `alloc`.
+ */
+trace::ThreadInit makeThreadInit(const Service &svc, const Request &req,
+                                 int lane, uint64_t gtid,
+                                 const mem::HeapAllocator &alloc);
+
+/** All 14 microservices of the paper's figures, in figure order. */
+std::vector<std::unique_ptr<Service>> buildAllServices();
+
+/** Build one service by figure name; nullptr if unknown. */
+std::unique_ptr<Service> buildService(const std::string &name);
+
+/** The figure-order list of service names. */
+const std::vector<std::string> &serviceNames();
+
+} // namespace simr::svc
+
+#endif // SIMR_SERVICES_SERVICE_H

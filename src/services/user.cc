@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The User service from DeathStarBench: login (credential hash chain),
+ * profile fetch (the paper's Fig. 17 cache-aside pattern: ~90% of
+ * requests hit the in-memory cache, the rest fall through to storage --
+ * the control divergence the system-level batch-splitting experiment is
+ * built around) and profile update (locked write).
+ */
+
+#include "services/all_services.h"
+
+#include "services/basic_service.h"
+#include "services/emit.h"
+
+using namespace simr::isa;
+
+namespace simr::svc
+{
+
+std::unique_ptr<Service>
+makeUser()
+{
+    ProgramBuilder b("user");
+
+    b.beginFunction("db_fetch_fn");
+    // Storage-path work at the instruction level is just issuing the
+    // RPC and refilling the cache line; the millisecond wait itself is
+    // a blocking event handled by system-level batch splitting.
+    emit::prologue(b, 2);
+    b.syscall(Sys::NetSend);
+    b.forLoopImm(R_T0, R_T1, 4, [&] {
+        b.hash(R_T2, R_KEY, R_T0, 3);
+        b.alu(AluKind::Shl, R_T3, R_T0, R_ZERO, 3);
+        b.alu(AluKind::Add, R_T3, R_T3, R_SP);
+        b.store(R_T2, R_T3, -192);
+    });
+    b.syscall(Sys::NetRecv);
+    // Refill the cache entry.
+    b.hash(R_T5, R_KEY, R_ZERO, 71);
+    b.alu(AluKind::ModImm, R_T5, R_T5, R_ZERO, 1 << 16);
+    b.alu(AluKind::Shl, R_T5, R_T5, R_ZERO, 6);
+    b.alu(AluKind::Add, R_T5, R_T5, R_SHARED);
+    b.store(R_KEY, R_T5, 1 << 28);
+    emit::epilogue(b, 2);
+    b.ret();
+    b.endFunction();
+
+    b.beginFunction("main");
+    b.syscall(Sys::NetRecv);
+    emit::prologue(b, 6);
+    b.apiSwitch({
+        // login: credential hash chain.
+        [&] {
+            b.forLoopImm(R_T0, R_T1, 24, [&] {
+                b.hash(R_T2, R_KEY, R_T2, 29);
+                b.alu(AluKind::Xor, R_T3, R_T3, R_T2);
+            });
+            emit::stackWork(b, 6);
+        },
+        // profile: cache-aside fetch (Fig. 17 pattern).
+        [&] {
+            emit::sharedTableRead(b, R_T0, 1 << 16, 64, 1 << 28);
+            b.hash(R_T1, R_KEY, R_ZERO, 90210);
+            b.alu(AluKind::ModImm, R_T1, R_T1, R_ZERO, 100);
+            b.ifElseImm(R_T1, Cmp::Lt, 95,
+                [&] {
+                    // Cache hit: copy the profile to the response.
+                    b.forLoopImm(R_T2, R_T3, 16, [&] {
+                        b.hash(R_T4, R_KEY, R_T2, 5);
+                        b.alu(AluKind::Shl, R_T5, R_T2, R_ZERO, 3);
+                        b.alu(AluKind::Add, R_T5, R_T5, R_SP);
+                        b.store(R_T4, R_T5, -448);
+                    });
+                },
+                [&] {
+                    // Miss: fetch from storage and refill.
+                    b.callFn("db_fetch_fn");
+                });
+        },
+        // update: locked write of profile fields.
+        [&] {
+            b.hash(R_T5, R_KEY, R_ZERO, 71);
+            b.alu(AluKind::ModImm, R_T5, R_T5, R_ZERO, 1 << 16);
+            b.alu(AluKind::Shl, R_T5, R_T5, R_ZERO, 6);
+            b.alu(AluKind::Add, R_T5, R_T5, R_SHARED);
+            emit::lockAcquire(b, R_T5, 4, 3);
+            b.forLoop(R_T0, R_ARGLEN, [&] {
+                b.hash(R_T1, R_KEY, R_T0, 19);
+                b.alu(AluKind::Shl, R_T2, R_T0, R_ZERO, 3);
+                b.alu(AluKind::Add, R_T2, R_T2, R_T5);
+                b.store(R_T1, R_T2, 1 << 28);
+            });
+            emit::lockRelease(b, R_T5);
+        },
+    });
+    emit::epilogue(b, 6);
+    b.syscall(Sys::NetSend);
+    b.ret();
+    b.endFunction();
+
+    ServiceTraits t;
+    t.name = "user";
+    t.group = "User";
+    t.numApis = 3;
+    t.maxArgLen = 8;
+    return std::make_unique<BasicService>(
+        t, b.finish(), [](int64_t, Rng &rng) {
+            Request r;
+            double u = rng.uniform();
+            r.api = u < 0.3 ? 0 : (u < 0.8 ? 1 : 2);
+            r.argLen = 1 + static_cast<int>(rng.below(8));
+            r.key = rng.zipf(1 << 16, 0.9);
+            return r;
+        });
+}
+
+} // namespace simr::svc

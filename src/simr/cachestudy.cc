@@ -1,0 +1,85 @@
+#include "simr/cachestudy.h"
+
+#include "simr/runner.h"
+
+namespace simr
+{
+
+CacheStudyResult
+studyRpuCache(const svc::Service &svc, int batch_size,
+              const CacheStudyOptions &opt)
+{
+    auto reqs = genRequests(svc, opt.requests, opt.seed);
+    batch::BatchingServer server(opt.policy, batch_size);
+    auto batches = server.formBatches(reqs);
+
+    simt::LockstepEngine engine(
+        svc.program(), simt::ReconvPolicy::MinSpPc, batch_size,
+        makeBatchProvider(svc, std::move(batches), opt.alloc));
+
+    mem::AddressMap map(opt.stackInterleave, batch_size);
+    mem::Mcu mcu(map);
+    mem::CacheConfig l1cfg;
+    l1cfg.name = "l1d";
+    l1cfg.sizeBytes = opt.l1KB * 1024;
+    l1cfg.assoc = 8;
+    l1cfg.banks = 8;
+    mem::Cache l1(l1cfg);
+
+    CacheStudyResult res;
+    trace::DynOp op;
+    std::vector<mem::MemAccess> accesses;
+    while (engine.next(op)) {
+        res.scalarInsts += static_cast<uint64_t>(op.activeLanes());
+        if (!op.isMem())
+            continue;
+        res.laneAccesses += op.addrCount;
+        mcu.coalesce(op, accesses);
+        for (const auto &a : accesses) {
+            ++res.l1Accesses;
+            if (!l1.access(a.paddr, a.isStore))
+                ++res.l1Misses;
+        }
+    }
+    res.mcu = mcu.stats();
+    return res;
+}
+
+CacheStudyResult
+studyCpuCache(const svc::Service &svc, const CacheStudyOptions &opt)
+{
+    auto reqs = genRequests(svc, opt.requests, opt.seed);
+    trace::ScalarStream stream(
+        svc.program(),
+        makeScalarProvider(svc, std::move(reqs), 0,
+                           mem::AllocPolicy::GlibcLike));
+
+    mem::AddressMap map(false, 1);
+    mem::Mcu mcu(map);
+    mem::CacheConfig l1cfg;
+    l1cfg.name = "l1d";
+    l1cfg.sizeBytes = opt.l1KB * 1024;
+    l1cfg.assoc = 8;
+    l1cfg.banks = 1;
+    mem::Cache l1(l1cfg);
+
+    CacheStudyResult res;
+    trace::DynOp op;
+    std::vector<mem::MemAccess> accesses;
+    while (stream.next(op)) {
+        ++res.scalarInsts;
+        if (!op.isMem())
+            continue;
+        res.laneAccesses += op.addrCount;
+        mcu.coalesce(op, accesses);
+        for (const auto &a : accesses) {
+            ++res.l1Accesses;
+            if (!l1.access(a.paddr, a.isStore))
+                ++res.l1Misses;
+        }
+    }
+    res.mcu = mcu.stats();
+    return res;
+}
+
+} // namespace simr

@@ -1,0 +1,163 @@
+#include "simr/runner.h"
+
+#include <memory>
+
+#include "common/logging.h"
+
+namespace simr
+{
+
+std::vector<svc::Request>
+genRequests(const svc::Service &svc, int n, uint64_t seed)
+{
+    Rng rng(seed ^ svc.dataSeed());
+    std::vector<svc::Request> reqs;
+    reqs.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i)
+        reqs.push_back(svc.genRequest(i, rng));
+    return reqs;
+}
+
+simt::LockstepEngine::BatchProvider
+makeBatchProvider(const svc::Service &svc, std::vector<batch::Batch> batches,
+                  mem::AllocPolicy alloc_policy)
+{
+    struct State
+    {
+        const svc::Service *svc;
+        std::vector<batch::Batch> batches;
+        size_t next = 0;
+        mem::HeapAllocator alloc;
+    };
+    auto st = std::make_shared<State>(
+        State{&svc, std::move(batches), 0,
+              mem::HeapAllocator(alloc_policy)});
+
+    return [st](std::vector<trace::ThreadInit> &inits) -> int {
+        if (st->next >= st->batches.size())
+            return 0;
+        const batch::Batch &b = st->batches[st->next++];
+        inits.clear();
+        for (size_t lane = 0; lane < b.requests.size(); ++lane) {
+            inits.push_back(svc::makeThreadInit(
+                *st->svc, b.requests[lane], static_cast<int>(lane),
+                lane, st->alloc));
+        }
+        return static_cast<int>(inits.size());
+    };
+}
+
+trace::RequestProvider
+makeScalarProvider(const svc::Service &svc, std::vector<svc::Request> reqs,
+                   uint64_t slot, mem::AllocPolicy alloc_policy)
+{
+    struct State
+    {
+        const svc::Service *svc;
+        std::vector<svc::Request> reqs;
+        size_t next = 0;
+        uint64_t slot;
+        mem::HeapAllocator alloc;
+    };
+    auto st = std::make_shared<State>(
+        State{&svc, std::move(reqs), 0, slot,
+              mem::HeapAllocator(alloc_policy)});
+
+    return [st](trace::ThreadInit &init) -> bool {
+        if (st->next >= st->reqs.size())
+            return false;
+        const svc::Request &r = st->reqs[st->next++];
+        init = svc::makeThreadInit(*st->svc, r,
+                                   static_cast<int>(st->slot), st->slot,
+                                   st->alloc);
+        return true;
+    };
+}
+
+EfficiencyResult
+measureEfficiency(const svc::Service &svc, batch::Policy policy,
+                  simt::ReconvPolicy reconv, int width, int n,
+                  uint64_t seed)
+{
+    auto reqs = genRequests(svc, n, seed);
+    batch::BatchingServer server(policy, width);
+    auto batches = server.formBatches(reqs);
+
+    simt::LockstepEngine engine(svc.program(), reconv, width,
+                                makeBatchProvider(svc, std::move(batches)));
+    trace::DynOp op;
+    while (engine.next(op)) {
+        // Drain: stats accumulate inside the engine.
+    }
+    return EfficiencyResult{engine.stats()};
+}
+
+TimingRun
+runTiming(const svc::Service &svc, const core::CoreConfig &cfg,
+          const TimingOptions &opt)
+{
+    auto reqs = genRequests(svc, opt.requests, opt.seed);
+
+    TimingRun run;
+    core::TimingCore core(cfg);
+
+    if (cfg.batchWidth > 1) {
+        // RPU / GPU: batch the requests and execute in lockstep. A
+        // core with several hardware batch contexts (the GPU's warp
+        // multithreading) splits the batches across engines.
+        int bsize = cfg.batchWidth;
+        if (opt.batchOverride > 0)
+            bsize = opt.batchOverride;
+        else if (opt.useTunedBatch)
+            bsize = std::min(bsize, svc.traits().tunedBatch);
+        batch::BatchingServer server(opt.policy, bsize);
+        auto batches = server.formBatches(reqs);
+        std::vector<std::vector<batch::Batch>> per_engine(
+            static_cast<size_t>(cfg.smtThreads));
+        for (size_t i = 0; i < batches.size(); ++i)
+            per_engine[i % per_engine.size()].push_back(
+                std::move(batches[i]));
+        std::vector<std::unique_ptr<simt::LockstepEngine>> engines;
+        std::vector<trace::DynStream *> streams;
+        for (int e = 0; e < cfg.smtThreads; ++e) {
+            engines.push_back(std::make_unique<simt::LockstepEngine>(
+                svc.program(), opt.reconv, bsize,
+                makeBatchProvider(svc,
+                                  std::move(per_engine[
+                                      static_cast<size_t>(e)]),
+                                  opt.alloc)));
+            streams.push_back(engines.back().get());
+        }
+        run.core = core.run(streams);
+    } else if (cfg.smtThreads > 1) {
+        // SMT: deal requests round-robin across hardware threads.
+        std::vector<std::vector<svc::Request>> per_thread(
+            static_cast<size_t>(cfg.smtThreads));
+        for (size_t i = 0; i < reqs.size(); ++i)
+            per_thread[i % per_thread.size()].push_back(reqs[i]);
+        std::vector<std::unique_ptr<trace::ScalarStream>> owned;
+        std::vector<trace::DynStream *> streams;
+        for (int ti = 0; ti < cfg.smtThreads; ++ti) {
+            owned.push_back(std::make_unique<trace::ScalarStream>(
+                svc.program(),
+                makeScalarProvider(svc,
+                                   per_thread[static_cast<size_t>(ti)],
+                                   static_cast<uint64_t>(ti),
+                                   opt.alloc)));
+            streams.push_back(owned.back().get());
+        }
+        run.core = core.run(streams);
+    } else {
+        trace::ScalarStream stream(
+            svc.program(), makeScalarProvider(svc, reqs, 0, opt.alloc));
+        std::vector<trace::DynStream *> streams = {&stream};
+        run.core = core.run(streams);
+    }
+
+    run.energy = energy::computeEnergy(
+        run.core, energy::EnergyParams::forConfig(cfg),
+        cfg.chipStaticWatts / cfg.chipCores);
+    return run;
+}
+
+} // namespace simr

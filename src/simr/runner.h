@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Experiment runner: the high-level API that examples, tests and the
+ * reproduction benches drive. Wires together request generation, the
+ * batching server, the lockstep SIMT engines, the timing cores and the
+ * energy model.
+ */
+
+#ifndef SIMR_SIMR_RUNNER_H
+#define SIMR_SIMR_RUNNER_H
+
+#include <vector>
+
+#include "batching/policy.h"
+#include "core/pipeline.h"
+#include "energy/model.h"
+#include "mem/allocator.h"
+#include "services/service.h"
+#include "simt/lockstep.h"
+
+namespace simr
+{
+
+/** Generate `n` arrival-ordered requests for a service. */
+std::vector<svc::Request> genRequests(const svc::Service &svc, int n,
+                                      uint64_t seed);
+
+/**
+ * Batch provider over pre-formed batches: lane l of every batch runs in
+ * hardware thread slot l (stacks contiguous per batch, arenas assigned
+ * by the allocator policy).
+ */
+simt::LockstepEngine::BatchProvider
+makeBatchProvider(const svc::Service &svc, std::vector<batch::Batch> batches,
+                  mem::AllocPolicy alloc_policy = mem::AllocPolicy::SimrAware);
+
+/**
+ * Scalar request provider: requests run back-to-back in hardware thread
+ * slot `slot`.
+ */
+trace::RequestProvider
+makeScalarProvider(const svc::Service &svc, std::vector<svc::Request> reqs,
+                   uint64_t slot,
+                   mem::AllocPolicy alloc_policy = mem::AllocPolicy::GlibcLike);
+
+/** SIMT-efficiency measurement (Figs. 4 and 11). */
+struct EfficiencyResult
+{
+    simt::SimtStats stats;
+
+    double efficiency() const { return stats.efficiency(); }
+};
+
+/**
+ * Measure SIMT efficiency of a service under a batching policy and
+ * reconvergence scheme, over `n` requests batched `width` wide.
+ */
+EfficiencyResult measureEfficiency(const svc::Service &svc,
+                                   batch::Policy policy,
+                                   simt::ReconvPolicy reconv, int width,
+                                   int n, uint64_t seed);
+
+/** One chip-level timing + energy run. */
+struct TimingRun
+{
+    core::CoreResult core;
+    energy::EnergyBreakdown energy;
+
+    double reqPerJoule() const
+    {
+        return energy::requestsPerJoule(core, energy);
+    }
+};
+
+/** Options for runTiming. */
+struct TimingOptions
+{
+    batch::Policy policy = batch::Policy::PerApiArgSize;
+    simt::ReconvPolicy reconv = simt::ReconvPolicy::MinSpPc;
+    mem::AllocPolicy alloc = mem::AllocPolicy::SimrAware;
+    int requests = 512;
+    uint64_t seed = 42;
+    /** Override the batch size; 0 = the service's tuned batch size. */
+    int batchOverride = 0;
+    bool useTunedBatch = true;
+};
+
+/**
+ * Run a service through a core configuration:
+ *  - batchWidth > 1: lockstep batch stream (RPU / GPU),
+ *  - smtThreads > 1: requests split across SMT contexts,
+ *  - otherwise: one scalar stream.
+ */
+TimingRun runTiming(const svc::Service &svc, const core::CoreConfig &cfg,
+                    const TimingOptions &opt);
+
+} // namespace simr
+
+#endif // SIMR_SIMR_RUNNER_H

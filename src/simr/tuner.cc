@@ -1,0 +1,57 @@
+#include "simr/tuner.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "simr/cachestudy.h"
+#include "simr/runner.h"
+
+namespace simr::tune
+{
+
+TuneResult
+tuneBatchSize(const svc::Service &svc, const TunerConfig &cfg)
+{
+    simr_assert(!cfg.candidates.empty(), "no candidate batch sizes");
+
+    TuneResult res;
+    std::vector<int> sizes = cfg.candidates;
+    std::sort(sizes.begin(), sizes.end());
+
+    // Profile ascending so the smallest batch establishes the MPKI
+    // floor the thrash test compares against.
+    double floor_mpki = 0;
+    for (size_t i = 0; i < sizes.size(); ++i) {
+        int bs = sizes[i];
+        CacheStudyOptions copt;
+        copt.requests = cfg.profileRequests;
+        copt.seed = cfg.seed;
+        copt.l1KB = cfg.l1KB;
+        auto cache = studyRpuCache(svc, bs, copt);
+
+        auto eff = measureEfficiency(svc, batch::Policy::PerApiArgSize,
+                                     simt::ReconvPolicy::MinSpPc, bs,
+                                     cfg.profileRequests, cfg.seed);
+
+        TunePoint p;
+        p.batchSize = bs;
+        p.mpki = cache.mpki();
+        p.efficiency = eff.efficiency();
+        if (i == 0)
+            floor_mpki = p.mpki;
+        p.acceptable =
+            p.mpki <= cfg.thrashFactor * floor_mpki + cfg.mpkiSlack &&
+            p.efficiency >= cfg.minEfficiency;
+        res.points.push_back(p);
+
+        // Largest acceptable batch wins.
+        if (p.acceptable && bs > res.chosenBatch)
+            res.chosenBatch = bs;
+    }
+    // Nothing fit the budget: fall back to the smallest candidate.
+    if (res.chosenBatch == 0)
+        res.chosenBatch = sizes.front();
+    return res;
+}
+
+} // namespace simr::batch

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Lockstep SIMT execution of request batches (the core of the paper).
+ *
+ * A LockstepEngine runs up to 32 request threads in lockstep over one
+ * service program, producing batch DynOps with active masks. Two
+ * reconvergence schemes are implemented, matching Section III-A and the
+ * two analysis modes of Fig. 11:
+ *
+ *  - StackIpdom: the ideal stack-based scheme. Uses the exact immediate
+ *    post-dominator annotations the builder attaches to every branch
+ *    (standing in for compiler analysis), with a reconvergence stack.
+ *
+ *  - MinSpPc: the paper's stack-less MinSP-PC heuristic. Each thread
+ *    keeps its own PC and call depth; every step the scheduler selects
+ *    the deepest call level first (MinSP), then the minimum PC, and runs
+ *    exactly the threads parked at that position. A spin-escape rule
+ *    (k-cycle stagnation + b atomics decoded) temporarily prioritizes a
+ *    starving path, mirroring the SIMT-induced-deadlock mitigation.
+ *
+ * The engine doubles as the SIMTec efficiency analyzer: SIMT efficiency
+ * is simply sum(active lanes) / (batch ops x batch width).
+ */
+
+#ifndef SIMR_SIMT_LOCKSTEP_H
+#define SIMR_SIMT_LOCKSTEP_H
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "trace/dynop.h"
+#include "trace/interp.h"
+#include "trace/stream.h"
+
+namespace simr::simt
+{
+
+/** Reconvergence scheme selector. */
+enum class ReconvPolicy : uint8_t {
+    StackIpdom,  ///< ideal stack-based IPDOM (compiler-annotated)
+    MinSpPc,     ///< stack-less MinSP-PC heuristic
+};
+
+/** Spin-escape tuning (Section III-A, SIMT-induced deadlock rule). */
+struct SpinEscapeConfig
+{
+    bool enabled = true;
+    uint32_t stagnationSteps = 64;  ///< k: steps with no PC progress
+    uint32_t atomicThreshold = 4;   ///< b: atomics decoded in the window
+    uint32_t boostSteps = 32;       ///< t: steps the waiter is prioritized
+};
+
+/** Aggregate lockstep statistics across launched batches. */
+struct SimtStats
+{
+    uint64_t batchOps = 0;       ///< batch instructions issued
+    uint64_t scalarOps = 0;      ///< sum of active lanes over batch ops
+    uint64_t maskedSlots = 0;    ///< idle lane-slots
+    uint64_t divergeEvents = 0;  ///< branches that split the active set
+    uint64_t pathSwitches = 0;   ///< scheduler jumps between paths
+    uint64_t spinEscapes = 0;    ///< spin-escape activations
+    uint64_t batches = 0;
+    int width = 32;
+
+    /** SIMT efficiency: scalar instructions / (batch ops x width). */
+    double
+    efficiency() const
+    {
+        return batchOps ? static_cast<double>(scalarOps) /
+            (static_cast<double>(batchOps) * width) : 1.0;
+    }
+};
+
+/**
+ * Runs batches of threads in lockstep over one program, exposed as a
+ * DynStream so the RPU timing core can consume it directly.
+ */
+class LockstepEngine : public trace::DynStream
+{
+  public:
+    /**
+     * Supplies the thread contexts of the next batch; returns the batch
+     * size (1..width) or 0 when no batches remain.
+     */
+    using BatchProvider =
+        std::function<int(std::vector<trace::ThreadInit> &)>;
+
+    LockstepEngine(const isa::Program &prog, ReconvPolicy policy,
+                   int width, BatchProvider provider,
+                   SpinEscapeConfig spin = SpinEscapeConfig());
+    ~LockstepEngine() override;
+
+    bool next(trace::DynOp &op) override;
+    uint64_t requestsCompleted() const override { return completed_; }
+
+    const SimtStats &stats() const { return stats_; }
+
+    /** True between batches (the last produced op finished a batch). */
+    bool atBatchBoundary() const { return !batchActive_; }
+
+  private:
+    struct StackEntry
+    {
+        int block;            ///< position of this path
+        size_t idx;
+        int depth;            ///< call depth of the path
+        int reconvBlock;      ///< merge block (-1 for the root entry)
+        trace::Mask mask;
+    };
+
+    bool launchNext();
+    bool stepStack(trace::DynOp &op);
+    bool stepMinSp(trace::DynOp &op);
+
+    /** Execute `mask` lanes (all at one position) and fill `op`. */
+    void execGroup(trace::Mask mask, trace::DynOp &op);
+
+    const isa::Program &prog_;
+    ReconvPolicy policy_;
+    int width_;
+    BatchProvider provider_;
+    SpinEscapeConfig spin_;
+
+    std::vector<std::unique_ptr<trace::ThreadState>> threads_;
+    trace::Mask liveMask_ = 0;
+    int batchSize_ = 0;
+    bool batchActive_ = false;
+    uint64_t completed_ = 0;
+    SimtStats stats_;
+
+    // Stack-IPDOM state.
+    std::vector<StackEntry> stack_;
+
+    // Batch-op-space dependence tracking: producer indices per register
+    // (the per-thread distances from the interpreter do not survive the
+    // interleaving of serialized divergent paths).
+    uint64_t batchOpIdx_ = 0;
+    uint64_t lastWriterB_[isa::kNumRegs] = {};
+
+    // MinSP-PC state.
+    std::vector<uint32_t> stagnation_;   ///< per-lane no-progress steps
+    std::vector<uint64_t> lastPos_;      ///< per-lane position snapshot
+    uint64_t windowAtomics_ = 0;
+    int boostLane_ = -1;
+    uint32_t boostLeft_ = 0;
+    trace::Mask prevActive_ = 0;
+};
+
+} // namespace simr::simt
+
+#endif // SIMR_SIMT_LOCKSTEP_H

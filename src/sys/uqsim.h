@@ -1,0 +1,84 @@
+/**
+ * @file
+ * System-level microservice-interaction simulator (the uqsim substitute)
+ * for the end-to-end experiment of Fig. 22.
+ *
+ * Models the User scenario of the social-network graph (Fig. 3):
+ *
+ *   client -> WebServer -> User -> McRouter -> Memcached --hit--> reply
+ *                                                  \--miss-> Storage -> reply
+ *
+ * Open-loop Poisson arrivals at a configurable QPS. Each tier is a
+ * rate-and-latency station: requests (or whole batches) occupy service
+ * capacity 1/R at latency L, so queueing delay emerges under load.
+ * The RPU system replaces the CPU tiers with machines of 5x the
+ * throughput per watt at 1.2x the latency (the chip-level results), and
+ * adds a batch-formation stage (size 32 or timeout). Batch splitting
+ * (Section III-B5) decides what happens when some requests in a batch
+ * miss memcached and must visit millisecond-scale storage:
+ *
+ *  - without splitting, every request in the batch waits for the
+ *    reconvergence point after storage;
+ *  - with splitting, hits return immediately and the blocked orphans
+ *    continue alone (paying a SIMT-efficiency penalty on capacity),
+ *    re-batched at the storage tier.
+ */
+
+#ifndef SIMR_SYS_UQSIM_H
+#define SIMR_SYS_UQSIM_H
+
+#include <cstdint>
+
+#include "common/stats.h"
+
+namespace simr::sys
+{
+
+/** Scenario + platform configuration. */
+struct SysConfig
+{
+    // Load.
+    double qps = 5000;
+    int requests = 30000;
+    uint64_t seed = 42;
+
+    // Platform.
+    bool rpu = false;           ///< RPU machines instead of CPU
+    bool batchSplit = true;     ///< Section III-B5 technique
+    int batchSize = 32;
+    double batchTimeoutUs = 100.0;
+    double rpuThroughputScale = 5.0;  ///< from chip-level results
+    double rpuLatencyScale = 1.2;
+    double orphanPenalty = 4.0; ///< capacity cost factor of split orphans
+
+    // Tier service latencies (us) and CPU capacities (cores).
+    double webSvcUs = 30.0;
+    double userSvcUs = 100.0;
+    double mcrouterSvcUs = 20.0;
+    double memcSvcUs = 25.0;
+    double storageSvcUs = 1000.0;
+    double netUs = 60.0;
+    int webCores = 8;
+    int userCores = 2;
+    int mcrouterCores = 2;
+    int memcCores = 2;
+    double memcHitRate = 0.9;
+};
+
+/** Run outcome. */
+struct SysResult
+{
+    double offeredQps = 0;
+    double achievedQps = 0;
+    Histogram e2eUs;           ///< end-to-end request latency
+
+    double meanUs() const { return e2eUs.mean(); }
+    double p99Us() const { return e2eUs.percentile(0.99); }
+};
+
+/** Simulate the User scenario at one offered load. */
+SysResult runUserScenario(const SysConfig &cfg);
+
+} // namespace simr::sys
+
+#endif // SIMR_SYS_UQSIM_H

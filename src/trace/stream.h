@@ -1,0 +1,66 @@
+/**
+ * @file
+ * DynStream: pull-based dynamic instruction streams.
+ *
+ * Timing cores consume DynOps one at a time through this interface. The
+ * scalar stream (one hardware thread running requests back-to-back) lives
+ * here; the lockstep batch stream lives in src/simt (it needs the SIMT
+ * reconvergence machinery).
+ */
+
+#ifndef SIMR_TRACE_STREAM_H
+#define SIMR_TRACE_STREAM_H
+
+#include <functional>
+#include <memory>
+
+#include "trace/dynop.h"
+#include "trace/interp.h"
+
+namespace simr::trace
+{
+
+/** Pull interface for dynamic instruction streams. */
+class DynStream
+{
+  public:
+    virtual ~DynStream() = default;
+
+    /**
+     * Produce the next dynamic op.
+     * @return false when the stream is exhausted (op is untouched).
+     */
+    virtual bool next(DynOp &op) = 0;
+
+    /** Requests fully retired by ops produced so far. */
+    virtual uint64_t requestsCompleted() const = 0;
+};
+
+/**
+ * Supplies the initial context of the next request a hardware thread
+ * should run; returns false when no requests remain.
+ */
+using RequestProvider = std::function<bool(ThreadInit &)>;
+
+/**
+ * One hardware thread executing requests back-to-back (the CPU baseline
+ * and one SMT context). Each DynOp has a single active lane.
+ */
+class ScalarStream : public DynStream
+{
+  public:
+    ScalarStream(const isa::Program &prog, RequestProvider provider);
+
+    bool next(DynOp &op) override;
+    uint64_t requestsCompleted() const override { return completed_; }
+
+  private:
+    ThreadState thread_;
+    RequestProvider provider_;
+    bool haveRequest_ = false;
+    uint64_t completed_ = 0;
+};
+
+} // namespace simr::trace
+
+#endif // SIMR_TRACE_STREAM_H

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Tests for the energy/area model: bucket accounting, parameter-set
+ * selection, and the Table V area/power relationships.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/counters.h"
+#include "energy/area.h"
+#include "energy/model.h"
+
+using namespace simr;
+using namespace simr::energy;
+
+namespace
+{
+
+core::CoreResult
+fakeResult()
+{
+    core::CoreResult r;
+    r.configName = "cpu";
+    r.freqGhz = 2.5;
+    r.cycles = 1000;
+    r.requests = 10;
+    namespace ctr = core::ctr;
+    r.counters.add(ctr::kFetch, 1000);
+    r.counters.add(ctr::kDecode, 1000);
+    r.counters.add(ctr::kRename, 1000);
+    r.counters.add(ctr::kRobWrite, 1000);
+    r.counters.add(ctr::kRobCommit, 1000);
+    r.counters.add(ctr::kIqWakeup, 1000);
+    r.counters.add(ctr::kIntOps, 600);
+    r.counters.add(ctr::kRegRead, 2000);
+    r.counters.add(ctr::kRegWrite, 700);
+    r.counters.add(ctr::kL1Access, 300);
+    r.counters.add(ctr::kDramAccess, 5);
+    return r;
+}
+
+} // namespace
+
+TEST(EnergyModel, BucketsArePositiveAndSum)
+{
+    auto e = computeEnergy(fakeResult(), EnergyParams::cpu(), 0.5);
+    EXPECT_GT(e.frontendOoo, 0.0);
+    EXPECT_GT(e.execution, 0.0);
+    EXPECT_GT(e.memory, 0.0);
+    EXPECT_GT(e.staticEnergy, 0.0);
+    EXPECT_NEAR(e.total(),
+                e.frontendOoo + e.execution + e.memory + e.simtOverhead +
+                    e.staticEnergy,
+                1e-18);
+    EXPECT_NEAR(e.dynamicTotal(), e.total() - e.staticEnergy, 1e-18);
+}
+
+TEST(EnergyModel, StaticScalesWithTime)
+{
+    auto r = fakeResult();
+    auto e1 = computeEnergy(r, EnergyParams::cpu(), 0.5);
+    r.cycles = 2000;
+    auto e2 = computeEnergy(r, EnergyParams::cpu(), 0.5);
+    EXPECT_NEAR(e2.staticEnergy, 2.0 * e1.staticEnergy, 1e-15);
+}
+
+TEST(EnergyModel, FrontendShareDominatesIntegerMix)
+{
+    auto e = computeEnergy(fakeResult(), EnergyParams::cpu(), 0.5);
+    EXPECT_GT(e.frontendShare(), 0.6) << "Fig. 10: FE+OoO dominates";
+}
+
+TEST(EnergyModel, RpuCacheAccessCostlier)
+{
+    auto cpu = EnergyParams::cpu();
+    auto rpu = EnergyParams::rpu();
+    EXPECT_NEAR(rpu.l1Access / cpu.l1Access, 1.72, 0.01);
+    EXPECT_NEAR(rpu.l2Access / cpu.l2Access, 1.82, 0.01);
+}
+
+TEST(EnergyModel, ForConfigSelection)
+{
+    EXPECT_EQ(EnergyParams::forConfig(core::makeCpuConfig()).l1Access,
+              EnergyParams::cpu().l1Access);
+    EXPECT_EQ(EnergyParams::forConfig(core::makeRpuConfig()).l1Access,
+              EnergyParams::rpu().l1Access);
+    EXPECT_EQ(EnergyParams::forConfig(core::makeGpuConfig()).dynamicScale,
+              EnergyParams::gpu().dynamicScale);
+    EXPECT_LT(EnergyParams::gpu().dynamicScale, 1.0);
+}
+
+TEST(EnergyModel, RequestsPerJoule)
+{
+    auto r = fakeResult();
+    auto e = computeEnergy(r, EnergyParams::cpu(), 0.5);
+    EXPECT_NEAR(requestsPerJoule(r, e), 10.0 / e.total(), 1e-6);
+}
+
+TEST(AreaModel, CpuCoreShape)
+{
+    auto cpu = estimateCore(core::makeCpuConfig());
+    double area = cpu.coreAreaMm2();
+    double power = cpu.corePeakWatts();
+    EXPECT_NEAR(area, 1.11, 0.25) << "Table V CPU core ~1.1 mm2";
+    EXPECT_NEAR(power, 2.5, 0.6) << "Table V CPU core ~2.5 W";
+
+    // Frontend+OoO ~40% of area / ~50% of power.
+    double fe_area = 0, fe_power = 0;
+    for (const auto &c : cpu.comps) {
+        if (c.name == "Fetch&Decode" || c.name == "Branch Prediction" ||
+            c.name == "OoO" || c.name == "Load/Store Unit") {
+            fe_area += c.areaMm2;
+            fe_power += c.peakWatts;
+        }
+    }
+    EXPECT_GT(fe_area / area, 0.3);
+    EXPECT_GT(fe_power / power, 0.4);
+}
+
+TEST(AreaModel, RpuCoreRatios)
+{
+    auto cpu = estimateCore(core::makeCpuConfig());
+    auto rpu = estimateCore(core::makeRpuConfig());
+    double area_ratio = rpu.coreAreaMm2() / cpu.coreAreaMm2();
+    double power_ratio = rpu.corePeakWatts() / cpu.corePeakWatts();
+    // Table V: ~6.3x area and ~4.5x peak power for 32x the threads.
+    EXPECT_NEAR(area_ratio, 6.3, 1.3);
+    EXPECT_NEAR(power_ratio, 4.5, 1.0);
+}
+
+TEST(AreaModel, RpuOnlyStructuresPresentAndSmall)
+{
+    auto rpu = estimateCore(core::makeRpuConfig());
+    double overhead = 0;
+    int found = 0;
+    for (const auto &c : rpu.comps) {
+        if (c.name == "Majority Voting" || c.name == "SIMT Optimizer" ||
+            c.name == "MCU" || c.name == "L1-Xbar") {
+            overhead += c.areaMm2;
+            ++found;
+        }
+    }
+    EXPECT_EQ(found, 4);
+    // Paper: ~11.8% of the RPU core.
+    EXPECT_NEAR(overhead / rpu.coreAreaMm2(), 0.118, 0.05);
+}
+
+TEST(AreaModel, CpuHasNoSimtStructures)
+{
+    auto cpu = estimateCore(core::makeCpuConfig());
+    for (const auto &c : cpu.comps) {
+        EXPECT_NE(c.name, "Majority Voting");
+        EXPECT_NE(c.name, "MCU");
+        EXPECT_NE(c.name, "L1-Xbar");
+    }
+}
+
+TEST(AreaModel, ChipLevelThreadDensity)
+{
+    auto cpu_chip = estimateChip(core::makeCpuConfig());
+    auto rpu_chip = estimateChip(core::makeRpuConfig());
+    double cpu_density = cpu_chip.cores / cpu_chip.chipAreaMm2();
+    double rpu_density = rpu_chip.cores * 32 / rpu_chip.chipAreaMm2();
+    // Paper: ~5.2x thread density.
+    EXPECT_GT(rpu_density / cpu_density, 3.5);
+    EXPECT_LT(rpu_density / cpu_density, 7.5);
+}
+
+TEST(AreaModel, MeshCostsMoreNocAreaThanCrossbar)
+{
+    auto cpu_chip = estimateChip(core::makeCpuConfig());
+    auto rpu_chip = estimateChip(core::makeRpuConfig());
+    EXPECT_GT(cpu_chip.nocAreaMm2, rpu_chip.nocAreaMm2);
+    EXPECT_GT(cpu_chip.nocWatts, rpu_chip.nocWatts);
+}

@@ -1,0 +1,328 @@
+/**
+ * @file
+ * Unit tests for the per-thread interpreter: value semantics of every
+ * AluKind, control flow, call depth, dependency distances and
+ * termination.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "isa/builder.h"
+#include "trace/interp.h"
+
+using namespace simr;
+using namespace simr::isa;
+using trace::StepResult;
+using trace::ThreadInit;
+using trace::ThreadState;
+
+namespace
+{
+
+/** Run a single-block program to completion; return final regs read. */
+ThreadState
+runProgram(const Program &p, ThreadInit init = ThreadInit())
+{
+    static std::vector<std::unique_ptr<Program>> keep_alive;
+    ThreadState t(p);
+    t.reset(init);
+    StepResult r;
+    int guard = 100000;
+    while (!t.done() && guard-- > 0)
+        t.step(r);
+    EXPECT_TRUE(t.done());
+    return t;
+}
+
+Program
+makeAluProgram(AluKind k, int64_t a, int64_t b_val, int64_t imm)
+{
+    ProgramBuilder b("t");
+    b.beginFunction("main");
+    b.movImm(R_T0, a);
+    b.movImm(R_T1, b_val);
+    b.alu(k, R_T2, R_T0, R_T1, imm);
+    b.ret();
+    b.endFunction();
+    return b.finish();
+}
+
+int64_t
+evalAlu(AluKind k, int64_t a, int64_t b, int64_t imm)
+{
+    Program p = makeAluProgram(k, a, b, imm);
+    ThreadState t(p);
+    t.reset(ThreadInit());
+    StepResult r;
+    while (!t.done())
+        t.step(r);
+    return t.reg(R_T2);
+}
+
+} // namespace
+
+TEST(Interp, AluSemantics)
+{
+    EXPECT_EQ(evalAlu(AluKind::Add, 3, 4, 0), 7);
+    EXPECT_EQ(evalAlu(AluKind::AddImm, 3, 0, 10), 13);
+    EXPECT_EQ(evalAlu(AluKind::Sub, 9, 4, 0), 5);
+    EXPECT_EQ(evalAlu(AluKind::Mul, 6, 7, 0), 42);
+    EXPECT_EQ(evalAlu(AluKind::Div, 42, 6, 0), 7);
+    EXPECT_EQ(evalAlu(AluKind::Div, 42, 0, 0), 0) << "div by zero safe";
+    EXPECT_EQ(evalAlu(AluKind::And, 0b1100, 0b1010, 0), 0b1000);
+    EXPECT_EQ(evalAlu(AluKind::AndImm, 0b1100, 0, 0b0110), 0b0100);
+    EXPECT_EQ(evalAlu(AluKind::Or, 0b1100, 0b1010, 0), 0b1110);
+    EXPECT_EQ(evalAlu(AluKind::Xor, 0b1100, 0b1010, 0), 0b0110);
+    EXPECT_EQ(evalAlu(AluKind::Shl, 3, 0, 4), 48);
+    EXPECT_EQ(evalAlu(AluKind::Shr, 48, 0, 4), 3);
+    EXPECT_EQ(evalAlu(AluKind::Min, 3, 9, 0), 3);
+    EXPECT_EQ(evalAlu(AluKind::Max, 3, 9, 0), 9);
+    EXPECT_EQ(evalAlu(AluKind::ModImm, 47, 0, 10), 7);
+    EXPECT_EQ(evalAlu(AluKind::ModImm, 47, 0, 0), 0) << "mod 0 safe";
+    EXPECT_EQ(evalAlu(AluKind::Mov, 5, 0, 0), 5);
+    EXPECT_EQ(evalAlu(AluKind::Mix, 1, 2, 3),
+              static_cast<int64_t>(mix64(1 ^ 2 ^ 3)));
+}
+
+TEST(Interp, RegZeroIsImmutable)
+{
+    ProgramBuilder b("t");
+    b.beginFunction("main");
+    b.movImm(R_ZERO, 99);
+    b.mov(R_T0, R_ZERO);
+    b.ret();
+    b.endFunction();
+    Program p = b.finish();
+    ThreadState t = runProgram(p);
+    EXPECT_EQ(t.reg(R_T0), 0);
+}
+
+TEST(Interp, InitialRegisters)
+{
+    ProgramBuilder b("t");
+    b.beginFunction("main");
+    b.ret();
+    b.endFunction();
+    Program p = b.finish();
+
+    ThreadInit init;
+    init.api = 2;
+    init.argLen = 5;
+    init.key = 0xabcd;
+    init.tid = 7;
+    init.sharedBase = 0x1000;
+    init.stackTop = 0x2000;
+    init.heapBase = 0x3000;
+    ThreadState t(p);
+    t.reset(init);
+    EXPECT_EQ(t.reg(R_API), 2);
+    EXPECT_EQ(t.reg(R_ARGLEN), 5);
+    EXPECT_EQ(t.reg(R_KEY), 0xabcd);
+    EXPECT_EQ(t.reg(R_TID), 7);
+    EXPECT_EQ(t.reg(R_SHARED), 0x1000);
+    EXPECT_EQ(t.reg(R_SP), 0x2000);
+    EXPECT_EQ(t.reg(R_HEAP), 0x3000);
+}
+
+TEST(Interp, BranchCmpKinds)
+{
+    for (auto [cmp, a, b_val, expect_taken] :
+         {std::tuple{Cmp::Eq, 4, 4, true}, {Cmp::Eq, 4, 5, false},
+          {Cmp::Ne, 4, 5, true}, {Cmp::Ne, 4, 4, false},
+          {Cmp::Lt, 3, 4, true}, {Cmp::Lt, 4, 4, false},
+          {Cmp::Ge, 4, 4, true}, {Cmp::Ge, 3, 4, false}}) {
+        ProgramBuilder b("t");
+        b.beginFunction("main");
+        b.movImm(R_T0, a);
+        b.movImm(R_T1, b_val);
+        b.ifElse(R_T0, cmp, R_T1,
+                 [&] { b.movImm(R_T2, 1); },
+                 [&] { b.movImm(R_T2, 2); });
+        b.ret();
+        b.endFunction();
+        Program p = b.finish();
+        ThreadState t = runProgram(p);
+        EXPECT_EQ(t.reg(R_T2), expect_taken ? 1 : 2)
+            << "cmp " << static_cast<int>(cmp) << " " << a << "," << b_val;
+    }
+}
+
+TEST(Interp, ForLoopTripCount)
+{
+    ProgramBuilder b("t");
+    b.beginFunction("main");
+    b.movImm(R_T2, 0);
+    b.forLoopImm(R_T0, R_T1, 13, [&] { b.addImm(R_T2, R_T2, 2); });
+    b.ret();
+    b.endFunction();
+    Program p = b.finish();
+    ThreadState t = runProgram(p);
+    EXPECT_EQ(t.reg(R_T2), 26);
+}
+
+TEST(Interp, ArgLenDrivenLoop)
+{
+    ProgramBuilder b("t");
+    b.beginFunction("main");
+    b.movImm(R_T2, 0);
+    b.forLoop(R_T0, R_ARGLEN, [&] { b.addImm(R_T2, R_T2, 1); });
+    b.ret();
+    b.endFunction();
+    Program p = b.finish();
+
+    for (int len : {1, 3, 8}) {
+        ThreadInit init;
+        init.argLen = len;
+        ThreadState t = runProgram(p, init);
+        EXPECT_EQ(t.reg(R_T2), len);
+    }
+}
+
+TEST(Interp, CallDepthTracked)
+{
+    ProgramBuilder b("t");
+    b.beginFunction("leaf");
+    b.nop();
+    b.ret();
+    b.endFunction();
+    b.beginFunction("mid");
+    b.callFn("leaf");
+    b.ret();
+    b.endFunction();
+    b.beginFunction("main");
+    b.callFn("mid");
+    b.ret();
+    b.endFunction();
+    Program p = b.finish();
+
+    ThreadState t(p);
+    t.reset(ThreadInit());
+    int max_depth = 0;
+    StepResult r;
+    while (!t.done()) {
+        t.step(r);
+        max_depth = std::max(max_depth, static_cast<int>(r.callDepth));
+    }
+    EXPECT_EQ(max_depth, 2);
+}
+
+TEST(Interp, LoadValueDeterministicByAddressAndSeed)
+{
+    ProgramBuilder b("t");
+    b.beginFunction("main");
+    b.load(R_T0, R_HEAP, 16);
+    b.load(R_T1, R_HEAP, 16);
+    b.load(R_T2, R_HEAP, 24);
+    b.ret();
+    b.endFunction();
+    Program p = b.finish();
+
+    ThreadInit init;
+    init.heapBase = 0x4000;
+    init.dataSeed = 99;
+    ThreadState t = runProgram(p, init);
+    EXPECT_EQ(t.reg(R_T0), t.reg(R_T1)) << "same address, same value";
+    EXPECT_NE(t.reg(R_T0), t.reg(R_T2)) << "different address differs";
+
+    init.dataSeed = 100;
+    ThreadState t2 = runProgram(p, init);
+    EXPECT_NE(t.reg(R_T0), t2.reg(R_T0)) << "seed changes values";
+}
+
+TEST(Interp, MemAddressesReported)
+{
+    ProgramBuilder b("t");
+    b.beginFunction("main");
+    b.store(R_T0, R_SP, -8);
+    b.ret();
+    b.endFunction();
+    Program p = b.finish();
+
+    ThreadInit init;
+    init.stackTop = 0x8000;
+    ThreadState t(p);
+    t.reset(init);
+    StepResult r;
+    t.step(r);
+    EXPECT_EQ(r.si->op, Op::Store);
+    EXPECT_EQ(r.addr, 0x8000u - 8);
+    EXPECT_EQ(r.accessSize, 8);
+}
+
+TEST(Interp, DepDistances)
+{
+    ProgramBuilder b("t");
+    b.beginFunction("main");
+    b.movImm(R_T0, 1);      // dyn 1
+    b.movImm(R_T1, 2);      // dyn 2
+    b.alu(AluKind::Add, R_T2, R_T0, R_T1);  // dyn 3: deps 2 and 1
+    b.ret();
+    b.endFunction();
+    Program p = b.finish();
+
+    ThreadState t(p);
+    t.reset(ThreadInit());
+    StepResult r;
+    t.step(r);
+    t.step(r);
+    t.step(r);
+    EXPECT_EQ(r.dep1, 2);
+    EXPECT_EQ(r.dep2, 1);
+}
+
+TEST(Interp, AtomicValueVariesPerAttempt)
+{
+    ProgramBuilder b("t");
+    b.beginFunction("main");
+    b.atomic(R_T0, R_SHARED, 0);
+    b.mov(R_T2, R_T0);
+    b.atomic(R_T1, R_SHARED, 0);
+    b.ret();
+    b.endFunction();
+    Program p = b.finish();
+    ThreadState t = runProgram(p);
+    EXPECT_NE(t.reg(R_T2), t.reg(R_T1));
+    EXPECT_EQ(t.atomicCount(), 2u);
+}
+
+TEST(Interp, ResetClearsState)
+{
+    ProgramBuilder b("t");
+    b.beginFunction("main");
+    b.addImm(R_T0, R_T0, 1);
+    b.ret();
+    b.endFunction();
+    Program p = b.finish();
+
+    ThreadState t(p);
+    t.reset(ThreadInit());
+    StepResult r;
+    while (!t.done())
+        t.step(r);
+    uint64_t n1 = t.dynCount();
+    t.reset(ThreadInit());
+    EXPECT_FALSE(t.done());
+    EXPECT_EQ(t.dynCount(), 0u);
+    while (!t.done())
+        t.step(r);
+    EXPECT_EQ(t.dynCount(), n1);
+    EXPECT_EQ(t.reg(R_T0), 1) << "register state reset between requests";
+}
+
+TEST(Interp, EmptyArmNormalizes)
+{
+    ProgramBuilder b("t");
+    b.beginFunction("main");
+    b.ifImm(R_API, Cmp::Eq, 7, [&] { b.movImm(R_T0, 1); });
+    b.movImm(R_T1, 2);
+    b.ret();
+    b.endFunction();
+    Program p = b.finish();
+
+    ThreadInit init;
+    init.api = 0;  // not taken: walks through the empty else arm
+    ThreadState t = runProgram(p, init);
+    EXPECT_EQ(t.reg(R_T0), 0);
+    EXPECT_EQ(t.reg(R_T1), 2);
+}

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Unit tests for the µISA: opcode metadata, program structure and the
+ * layout invariants the SIMT reconvergence engines rely on (join blocks
+ * after arms, loop exits after bodies, IPDOM annotations present).
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/builder.h"
+#include "isa/program.h"
+
+using namespace simr::isa;
+
+TEST(OpInfo, Classes)
+{
+    EXPECT_TRUE(opInfo(Op::Load).isMem);
+    EXPECT_TRUE(opInfo(Op::Store).isMem);
+    EXPECT_TRUE(opInfo(Op::Atomic).isMem);
+    EXPECT_FALSE(opInfo(Op::IAlu).isMem);
+    EXPECT_TRUE(opInfo(Op::Branch).isCtrl);
+    EXPECT_TRUE(opInfo(Op::Jump).isCtrl);
+    EXPECT_TRUE(opInfo(Op::Call).isCtrl);
+    EXPECT_TRUE(opInfo(Op::Ret).isCtrl);
+    EXPECT_FALSE(opInfo(Op::Syscall).isCtrl);
+    EXPECT_TRUE(opInfo(Op::IAlu).writesReg);
+    EXPECT_FALSE(opInfo(Op::Store).writesReg);
+    EXPECT_EQ(opInfo(Op::Simd).fu, FuClass::SimdUnit);
+    EXPECT_EQ(opInfo(Op::IMul).fu, FuClass::IntMul);
+    EXPECT_EQ(opInfo(Op::Load).fu, FuClass::LoadStore);
+}
+
+TEST(OpInfo, Names)
+{
+    EXPECT_STREQ(opName(Op::Branch), "branch");
+    EXPECT_STREQ(opName(Op::Simd), "simd");
+}
+
+namespace
+{
+
+Program
+buildIfElse()
+{
+    ProgramBuilder b("t");
+    b.beginFunction("main");
+    b.movImm(R_T0, 1);
+    b.ifElse(R_T0, Cmp::Eq, R_ZERO,
+             [&] { b.movImm(R_T1, 10); },
+             [&] { b.movImm(R_T1, 20); });
+    b.movImm(R_T2, 3);
+    b.ret();
+    b.endFunction();
+    return b.finish();
+}
+
+/** Find the first conditional branch in a program. */
+const StaticInst *
+firstBranch(const Program &p, int *block_out = nullptr)
+{
+    for (int blk = 0; blk < p.numBlocks(); ++blk) {
+        for (const auto &si : p.block(blk).insts) {
+            if (si.op == Op::Branch) {
+                if (block_out)
+                    *block_out = blk;
+                return &si;
+            }
+        }
+    }
+    return nullptr;
+}
+
+} // namespace
+
+TEST(Builder, IfElseLayout)
+{
+    Program p = buildIfElse();
+    ASSERT_TRUE(p.laidOut());
+
+    int branch_blk = -1;
+    const StaticInst *br = firstBranch(p, &branch_blk);
+    ASSERT_NE(br, nullptr);
+    ASSERT_GE(br->reconvBlock, 0);
+
+    // The join block must be laid out after both arms (MinPC property).
+    EXPECT_GT(p.blockPc(br->reconvBlock), p.blockPc(br->targetBlock));
+    EXPECT_GT(p.blockPc(br->reconvBlock),
+              p.blockPc(p.block(branch_blk).fallthrough));
+    // Taken arm (then) precedes the fallthrough arm (else).
+    EXPECT_LT(p.blockPc(br->targetBlock),
+              p.blockPc(p.block(branch_blk).fallthrough));
+}
+
+TEST(Builder, WhileLoopLayout)
+{
+    ProgramBuilder b("t");
+    b.beginFunction("main");
+    b.movImm(R_T0, 0);
+    b.movImm(R_T1, 5);
+    b.whileLt(R_T0, R_T1, [&] { b.addImm(R_T0, R_T0, 1); });
+    b.ret();
+    b.endFunction();
+    Program p = b.finish();
+
+    int hdr = -1;
+    const StaticInst *br = firstBranch(p, &hdr);
+    ASSERT_NE(br, nullptr);
+    // Header branch: body below the exit; back edge returns to header.
+    EXPECT_LT(p.blockPc(br->targetBlock), p.blockPc(br->reconvBlock));
+    EXPECT_GT(p.blockPc(br->reconvBlock), p.blockPc(hdr));
+    // The body's terminator jumps back to the header.
+    const auto &body = p.block(br->targetBlock);
+    ASSERT_TRUE(body.hasTerminator());
+    EXPECT_EQ(body.insts.back().op, Op::Jump);
+    EXPECT_EQ(body.insts.back().targetBlock, hdr);
+}
+
+TEST(Builder, NestedIfJoinOrdering)
+{
+    ProgramBuilder b("t");
+    b.beginFunction("main");
+    b.ifElse(R_API, Cmp::Eq, R_ZERO,
+             [&] {
+                 b.ifElse(R_KEY, Cmp::Lt, R_ARGLEN,
+                          [&] { b.nop(); }, [&] { b.nop(); });
+             },
+             [&] { b.nop(); });
+    b.ret();
+    b.endFunction();
+    Program p = b.finish();
+
+    // Every branch's reconvergence PC dominates (is above) its targets.
+    for (int blk = 0; blk < p.numBlocks(); ++blk) {
+        const auto &bb = p.block(blk);
+        for (const auto &si : bb.insts) {
+            if (si.op != Op::Branch)
+                continue;
+            EXPECT_GT(p.blockPc(si.reconvBlock),
+                      p.blockPc(si.targetBlock));
+            EXPECT_GT(p.blockPc(si.reconvBlock),
+                      p.blockPc(bb.fallthrough));
+        }
+    }
+}
+
+TEST(Builder, CallResolvesForwardReference)
+{
+    ProgramBuilder b("t");
+    b.beginFunction("main");
+    b.callFn("helper");
+    b.ret();
+    b.endFunction();
+    b.beginFunction("helper");
+    b.nop();
+    b.ret();
+    b.endFunction();
+    Program p = b.finish();
+
+    int helper = p.findFunction("helper");
+    ASSERT_GE(helper, 0);
+    bool found = false;
+    for (int blk = 0; blk < p.numBlocks(); ++blk) {
+        for (const auto &si : p.block(blk).insts) {
+            if (si.op == Op::Call) {
+                EXPECT_EQ(si.funcId, helper);
+                found = true;
+            }
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Builder, EndFunctionAddsImplicitRet)
+{
+    ProgramBuilder b("t");
+    b.beginFunction("main");
+    b.nop();
+    b.endFunction();
+    Program p = b.finish();
+    const auto &entry = p.block(p.func(0).entry);
+    EXPECT_EQ(entry.insts.back().op, Op::Ret);
+}
+
+TEST(Builder, PcsAreContiguous)
+{
+    Program p = buildIfElse();
+    Pc expected = p.codeBase();
+    for (int blk = 0; blk < p.numBlocks(); ++blk) {
+        EXPECT_EQ(p.blockPc(blk), expected);
+        expected += p.block(blk).insts.size() * kInstBytes;
+    }
+    EXPECT_EQ(p.staticInstCount() * kInstBytes,
+              expected - p.codeBase());
+}
+
+TEST(Builder, ApiSwitchBranchCount)
+{
+    ProgramBuilder b("t");
+    b.beginFunction("main");
+    b.apiSwitch({[&] { b.nop(); }, [&] { b.nop(); }, [&] { b.nop(); }});
+    b.ret();
+    b.endFunction();
+    Program p = b.finish();
+
+    int branches = 0;
+    for (int blk = 0; blk < p.numBlocks(); ++blk)
+        for (const auto &si : p.block(blk).insts)
+            branches += si.op == Op::Branch ? 1 : 0;
+    // N cases need N-1 chained comparisons.
+    EXPECT_EQ(branches, 2);
+}
+
+TEST(Builder, MemoryOperandEncoding)
+{
+    ProgramBuilder b("t");
+    b.beginFunction("main");
+    b.load(R_T0, R_HEAP, 64, 32);
+    b.store(R_T1, R_SP, -8, 8);
+    b.atomic(R_T2, R_SHARED, 16);
+    b.ret();
+    b.endFunction();
+    Program p = b.finish();
+    const auto &insts = p.block(p.func(0).entry).insts;
+    EXPECT_EQ(insts[0].op, Op::Load);
+    EXPECT_EQ(insts[0].accessSize, 32);
+    EXPECT_EQ(insts[0].imm, 64);
+    EXPECT_EQ(insts[1].op, Op::Store);
+    EXPECT_EQ(insts[1].src2, R_T1);
+    EXPECT_EQ(insts[2].op, Op::Atomic);
+    EXPECT_EQ(insts[2].accessSize, 8);
+}

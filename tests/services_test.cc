@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Parameterized tests over all 14 microservices: program validity,
+ * request-model bounds, termination, determinism, segment usage and
+ * service-specific behaviours the figures rely on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mem/address_space.h"
+#include "services/service.h"
+#include "simr/runner.h"
+
+using namespace simr;
+
+namespace
+{
+
+std::string
+ident(const std::string &name)
+{
+    std::string n = name;
+    for (auto &c : n)
+        if (c == '-')
+            c = '_';
+    return n;
+}
+
+} // namespace
+
+TEST(Registry, FourteenServicesInFigureOrder)
+{
+    EXPECT_EQ(svc::serviceNames().size(), 14u);
+    auto all = svc::buildAllServices();
+    ASSERT_EQ(all.size(), 14u);
+    for (size_t i = 0; i < all.size(); ++i)
+        EXPECT_EQ(all[i]->traits().name, svc::serviceNames()[i]);
+    EXPECT_EQ(svc::buildService("no-such-service"), nullptr);
+}
+
+class ServiceTest : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        svc_ = svc::buildService(GetParam());
+        ASSERT_NE(svc_, nullptr);
+    }
+
+    std::unique_ptr<svc::Service> svc_;
+};
+
+TEST_P(ServiceTest, ProgramIsLaidOutWithMain)
+{
+    const auto &p = svc_->program();
+    EXPECT_TRUE(p.laidOut());
+    EXPECT_GE(p.findFunction("main"), 0);
+    EXPECT_GT(p.staticInstCount(), 10u);
+}
+
+TEST_P(ServiceTest, RequestsRespectTraits)
+{
+    Rng rng(5);
+    const auto &t = svc_->traits();
+    for (int i = 0; i < 500; ++i) {
+        auto r = svc_->genRequest(i, rng);
+        EXPECT_GE(r.api, 0);
+        EXPECT_LT(r.api, t.numApis);
+        EXPECT_GE(r.argLen, 1);
+        EXPECT_LE(r.argLen, t.maxArgLen);
+        EXPECT_EQ(r.id, i);
+    }
+}
+
+TEST_P(ServiceTest, AllApisAreReachable)
+{
+    Rng rng(7);
+    std::set<int> apis;
+    for (int i = 0; i < 2000; ++i)
+        apis.insert(svc_->genRequest(i, rng).api);
+    EXPECT_EQ(static_cast<int>(apis.size()), svc_->traits().numApis);
+}
+
+TEST_P(ServiceTest, EveryRequestTerminates)
+{
+    Rng rng(9);
+    mem::HeapAllocator alloc(mem::AllocPolicy::SimrAware);
+    trace::ThreadState t(svc_->program());
+    for (int i = 0; i < 50; ++i) {
+        auto req = svc_->genRequest(i, rng);
+        t.reset(svc::makeThreadInit(*svc_, req, i % 32,
+                                    static_cast<uint64_t>(i % 32), alloc));
+        trace::StepResult r;
+        uint64_t guard = 200000;
+        while (!t.done() && guard-- > 0)
+            t.step(r);
+        ASSERT_TRUE(t.done()) << "request " << i << " did not terminate";
+        EXPECT_GT(t.dynCount(), 20u) << "requests do non-trivial work";
+        EXPECT_LT(t.dynCount(), 100000u);
+    }
+}
+
+TEST_P(ServiceTest, ExecutionIsDeterministic)
+{
+    Rng rng(11);
+    mem::HeapAllocator alloc(mem::AllocPolicy::GlibcLike);
+    auto req = svc_->genRequest(0, rng);
+    uint64_t counts[2];
+    for (int pass = 0; pass < 2; ++pass) {
+        trace::ThreadState t(svc_->program());
+        t.reset(svc::makeThreadInit(*svc_, req, 3, 3, alloc));
+        trace::StepResult r;
+        while (!t.done())
+            t.step(r);
+        counts[pass] = t.dynCount();
+    }
+    EXPECT_EQ(counts[0], counts[1]);
+}
+
+TEST_P(ServiceTest, TouchesStackAndIssuesSyscalls)
+{
+    Rng rng(13);
+    mem::HeapAllocator alloc(mem::AllocPolicy::SimrAware);
+    auto req = svc_->genRequest(0, rng);
+    trace::ThreadState t(svc_->program());
+    t.reset(svc::makeThreadInit(*svc_, req, 0, 0, alloc));
+    trace::StepResult r;
+    bool stack = false;
+    int syscalls = 0;
+    while (!t.done()) {
+        t.step(r);
+        if (isa::opInfo(r.si->op).isMem &&
+            mem::AddressSpace::classify(r.addr) == mem::Segment::Stack)
+            stack = true;
+        syscalls += r.si->op == isa::Op::Syscall ? 1 : 0;
+    }
+    EXPECT_TRUE(stack) << "every service uses its stack";
+    EXPECT_GE(syscalls, 2) << "RPC boundary syscalls present";
+}
+
+TEST_P(ServiceTest, MemoryStaysInKnownSegments)
+{
+    Rng rng(17);
+    mem::HeapAllocator alloc(mem::AllocPolicy::SimrAware);
+    trace::ThreadState t(svc_->program());
+    for (int i = 0; i < 8; ++i) {
+        auto req = svc_->genRequest(i, rng);
+        t.reset(svc::makeThreadInit(*svc_, req, i % 32,
+                                    static_cast<uint64_t>(i % 32), alloc));
+        trace::StepResult r;
+        while (!t.done()) {
+            t.step(r);
+            if (!isa::opInfo(r.si->op).isMem)
+                continue;
+            auto seg = mem::AddressSpace::classify(r.addr);
+            EXPECT_NE(seg, mem::Segment::Other)
+                << "stray address 0x" << std::hex << r.addr;
+            EXPECT_NE(seg, mem::Segment::Code);
+        }
+    }
+}
+
+TEST_P(ServiceTest, TunedBatchMatchesDataIntensity)
+{
+    const auto &t = svc_->traits();
+    if (t.dataIntensive)
+        EXPECT_LT(t.tunedBatch, 32) << "Fig. 15 batch tuning";
+    else
+        EXPECT_EQ(t.tunedBatch, 32);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllServices, ServiceTest,
+                         ::testing::ValuesIn(svc::serviceNames()),
+                         [](const auto &info) { return ident(info.param); });
+
+TEST(ServiceBehaviour, ArgLenScalesWork)
+{
+    auto svc = svc::buildService("text");
+    mem::HeapAllocator alloc(mem::AllocPolicy::SimrAware);
+    uint64_t counts[2];
+    int lens[2] = {2, 20};
+    for (int i = 0; i < 2; ++i) {
+        svc::Request r;
+        r.api = 0;
+        r.argLen = lens[i];
+        r.key = 42;
+        trace::ThreadState t(svc->program());
+        t.reset(svc::makeThreadInit(*svc, r, 0, 0, alloc));
+        trace::StepResult sr;
+        while (!t.done())
+            t.step(sr);
+        counts[i] = t.dynCount();
+    }
+    EXPECT_GT(counts[1], counts[0] + 100)
+        << "longer texts do proportionally more work";
+}
+
+TEST(ServiceBehaviour, PostApisHaveDistinctLengths)
+{
+    auto svc = svc::buildService("post");
+    mem::HeapAllocator alloc(mem::AllocPolicy::SimrAware);
+    std::set<uint64_t> lengths;
+    for (int api = 0; api < 4; ++api) {
+        svc::Request r;
+        r.api = api;
+        r.argLen = 2;
+        r.key = 7;
+        trace::ThreadState t(svc->program());
+        t.reset(svc::makeThreadInit(*svc, r, 0, 0, alloc));
+        trace::StepResult sr;
+        while (!t.done())
+            t.step(sr);
+        lengths.insert(t.dynCount());
+    }
+    EXPECT_EQ(lengths.size(), 4u) << "each RPC method is distinct code";
+}
+
+TEST(ServiceBehaviour, LeafFootprintExceedsMidTier)
+{
+    // The data-intensive leaves touch far more private-heap bytes than
+    // a stack-heavy middle tier (Fig. 15 premise).
+    auto leaf = svc::buildService("hdsearch-leaf");
+    auto mid = svc::buildService("post");
+    mem::HeapAllocator alloc(mem::AllocPolicy::SimrAware);
+    auto heap_lines = [&](svc::Service &s) {
+        Rng rng(3);
+        auto req = s.genRequest(0, rng);
+        trace::ThreadState t(s.program());
+        t.reset(svc::makeThreadInit(s, req, 0, 0, alloc));
+        trace::StepResult r;
+        std::set<uint64_t> lines;
+        while (!t.done()) {
+            t.step(r);
+            if (isa::opInfo(r.si->op).isMem &&
+                mem::AddressSpace::classify(r.addr) ==
+                    mem::Segment::PrivateHeap)
+                lines.insert(r.addr / 32);
+        }
+        return lines.size();
+    };
+    EXPECT_GT(heap_lines(*leaf), 8 * heap_lines(*mid) + 32);
+}

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Tests for the system-level (uqsim-substitute) simulator: unloaded
+ * latency composition, queueing under load, batch splitting effects and
+ * throughput relationships.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sys/uqsim.h"
+
+using namespace simr;
+using namespace simr::sys;
+
+namespace
+{
+
+SysConfig
+base(double kqps, bool rpu, bool split)
+{
+    SysConfig cfg;
+    cfg.qps = kqps * 1000.0;
+    cfg.rpu = rpu;
+    cfg.batchSplit = split;
+    cfg.requests = 20000;
+    cfg.seed = 3;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Uqsim, UnloadedCpuLatencyComposition)
+{
+    auto r = runUserScenario(base(1, false, true));
+    // Hit path: 4 tier latencies + 5 network hops.
+    double hit = 30 + 100 + 20 + 25 + 5 * 60;
+    EXPECT_GT(r.meanUs(), hit * 0.9);
+    // 90% of requests do not see storage.
+    EXPECT_LT(r.e2eUs.percentile(0.5), hit * 1.5);
+    // The tail is the storage path.
+    EXPECT_GT(r.p99Us(), 1000.0);
+    EXPECT_LT(r.p99Us(), hit + 1000 + 3 * 60 + 100);
+}
+
+TEST(Uqsim, LatencyGrowsWithLoad)
+{
+    auto lo = runUserScenario(base(2, false, true));
+    auto mid = runUserScenario(base(15, false, true));
+    EXPECT_GT(mid.meanUs(), lo.meanUs());
+}
+
+TEST(Uqsim, OverloadExplodes)
+{
+    auto over = runUserScenario(base(40, false, true));
+    EXPECT_GT(over.meanUs(), 20.0 * 1000.0) << "way past capacity";
+}
+
+TEST(Uqsim, RpuSustainsHigherLoad)
+{
+    // At 40 kQPS the CPU system has collapsed; the RPU system hasn't.
+    auto cpu = runUserScenario(base(40, false, true));
+    auto rpu = runUserScenario(base(40, true, true));
+    EXPECT_LT(rpu.meanUs() * 10, cpu.meanUs());
+    EXPECT_LT(rpu.p99Us(), 2500.0);
+}
+
+TEST(Uqsim, NoSplitRaisesAverageNotTail)
+{
+    auto split = runUserScenario(base(30, true, true));
+    auto nosplit = runUserScenario(base(30, true, false));
+    // Without splitting, hits wait for the storage path at the
+    // reconvergence point: average rises toward the miss latency.
+    EXPECT_GT(nosplit.meanUs(), split.meanUs() + 100.0);
+    // The tail is the storage path either way.
+    EXPECT_NEAR(nosplit.p99Us(), split.p99Us(), 600.0);
+}
+
+TEST(Uqsim, SplitOrphansConsumeCapacity)
+{
+    // With splitting, orphan re-execution costs capacity: saturation
+    // arrives earlier than without splitting.
+    auto split = runUserScenario(base(120, true, true));
+    auto nosplit = runUserScenario(base(120, true, false));
+    EXPECT_GT(split.meanUs(), nosplit.meanUs());
+}
+
+TEST(Uqsim, HitRateControlsTail)
+{
+    auto cfg = base(5, false, true);
+    cfg.memcHitRate = 1.0;
+    auto all_hit = runUserScenario(cfg);
+    EXPECT_LT(all_hit.p99Us(), 1000.0) << "no storage visits, no tail";
+}
+
+TEST(Uqsim, BatchFormationAddsBoundedDelay)
+{
+    // At low load, RPU batches emit on timeout: the extra latency is
+    // bounded by the batching window.
+    auto cpu = runUserScenario(base(5, false, true));
+    auto rpu = runUserScenario(base(5, true, true));
+    EXPECT_LT(rpu.meanUs(), cpu.meanUs() + 100.0 + 200.0);
+}
+
+TEST(Uqsim, AchievedMatchesOfferedBelowSaturation)
+{
+    auto r = runUserScenario(base(10, false, true));
+    EXPECT_NEAR(r.achievedQps, 10000.0, 1500.0);
+}
+
+TEST(Uqsim, DeterministicForSeed)
+{
+    auto a = runUserScenario(base(10, true, true));
+    auto b = runUserScenario(base(10, true, true));
+    EXPECT_DOUBLE_EQ(a.meanUs(), b.meanUs());
+    EXPECT_DOUBLE_EQ(a.p99Us(), b.p99Us());
+}
