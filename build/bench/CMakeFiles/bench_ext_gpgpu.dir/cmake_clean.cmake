@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_gpgpu.dir/bench_ext_gpgpu.cpp.o"
+  "CMakeFiles/bench_ext_gpgpu.dir/bench_ext_gpgpu.cpp.o.d"
+  "bench_ext_gpgpu"
+  "bench_ext_gpgpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_gpgpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_multibatch.dir/bench_ext_multibatch.cpp.o"
+  "CMakeFiles/bench_ext_multibatch.dir/bench_ext_multibatch.cpp.o.d"
+  "bench_ext_multibatch"
+  "bench_ext_multibatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_multibatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

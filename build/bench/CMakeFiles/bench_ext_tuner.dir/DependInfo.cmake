@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ext_tuner.cpp" "bench/CMakeFiles/bench_ext_tuner.dir/bench_ext_tuner.cpp.o" "gcc" "bench/CMakeFiles/bench_ext_tuner.dir/bench_ext_tuner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simr/CMakeFiles/simr_simr.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/simr_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/simr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/simt/CMakeFiles/simr_simt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sys/CMakeFiles/simr_sys.dir/DependInfo.cmake"
+  "/root/repo/build/src/batching/CMakeFiles/simr_batching.dir/DependInfo.cmake"
+  "/root/repo/build/src/services/CMakeFiles/simr_services.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/simr_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/simr_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/simr_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/simr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

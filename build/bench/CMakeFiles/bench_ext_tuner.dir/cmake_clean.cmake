@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_tuner.dir/bench_ext_tuner.cpp.o"
+  "CMakeFiles/bench_ext_tuner.dir/bench_ext_tuner.cpp.o.d"
+  "bench_ext_tuner"
+  "bench_ext_tuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_tuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_l1_mpki.dir/bench_fig15_l1_mpki.cpp.o"
+  "CMakeFiles/bench_fig15_l1_mpki.dir/bench_fig15_l1_mpki.cpp.o.d"
+  "bench_fig15_l1_mpki"
+  "bench_fig15_l1_mpki.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_l1_mpki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

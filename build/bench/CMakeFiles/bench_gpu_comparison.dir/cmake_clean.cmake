@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gpu_comparison.dir/bench_gpu_comparison.cpp.o"
+  "CMakeFiles/bench_gpu_comparison.dir/bench_gpu_comparison.cpp.o.d"
+  "bench_gpu_comparison"
+  "bench_gpu_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gpu_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

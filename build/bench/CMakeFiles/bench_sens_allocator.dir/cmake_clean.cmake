@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sens_allocator.dir/bench_sens_allocator.cpp.o"
+  "CMakeFiles/bench_sens_allocator.dir/bench_sens_allocator.cpp.o.d"
+  "bench_sens_allocator"
+  "bench_sens_allocator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sens_allocator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

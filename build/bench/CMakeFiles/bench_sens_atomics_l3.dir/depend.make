@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_sens_atomics_l3.
+# This may be replaced when dependencies are built.

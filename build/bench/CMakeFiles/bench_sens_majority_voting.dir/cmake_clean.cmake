@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sens_majority_voting.dir/bench_sens_majority_voting.cpp.o"
+  "CMakeFiles/bench_sens_majority_voting.dir/bench_sens_majority_voting.cpp.o.d"
+  "bench_sens_majority_voting"
+  "bench_sens_majority_voting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sens_majority_voting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

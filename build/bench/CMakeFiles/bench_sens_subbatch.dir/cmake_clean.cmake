@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sens_subbatch.dir/bench_sens_subbatch.cpp.o"
+  "CMakeFiles/bench_sens_subbatch.dir/bench_sens_subbatch.cpp.o.d"
+  "bench_sens_subbatch"
+  "bench_sens_subbatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sens_subbatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab04_configs.dir/bench_tab04_configs.cpp.o"
+  "CMakeFiles/bench_tab04_configs.dir/bench_tab04_configs.cpp.o.d"
+  "bench_tab04_configs"
+  "bench_tab04_configs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab04_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

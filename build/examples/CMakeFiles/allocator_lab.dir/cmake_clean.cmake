@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/allocator_lab.dir/allocator_lab.cpp.o"
+  "CMakeFiles/allocator_lab.dir/allocator_lab.cpp.o.d"
+  "allocator_lab"
+  "allocator_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/allocator_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

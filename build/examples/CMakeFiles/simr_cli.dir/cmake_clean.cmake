@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simr_cli.dir/simr_cli.cpp.o"
+  "CMakeFiles/simr_cli.dir/simr_cli.cpp.o.d"
+  "simr_cli"
+  "simr_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simr_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

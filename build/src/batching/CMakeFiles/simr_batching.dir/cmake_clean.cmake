@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simr_batching.dir/policy.cc.o"
+  "CMakeFiles/simr_batching.dir/policy.cc.o.d"
+  "CMakeFiles/simr_batching.dir/splitter.cc.o"
+  "CMakeFiles/simr_batching.dir/splitter.cc.o.d"
+  "libsimr_batching.a"
+  "libsimr_batching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simr_batching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simr_common.dir/config.cc.o"
+  "CMakeFiles/simr_common.dir/config.cc.o.d"
+  "CMakeFiles/simr_common.dir/logging.cc.o"
+  "CMakeFiles/simr_common.dir/logging.cc.o.d"
+  "CMakeFiles/simr_common.dir/stats.cc.o"
+  "CMakeFiles/simr_common.dir/stats.cc.o.d"
+  "CMakeFiles/simr_common.dir/table.cc.o"
+  "CMakeFiles/simr_common.dir/table.cc.o.d"
+  "libsimr_common.a"
+  "libsimr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bpred.cc" "src/core/CMakeFiles/simr_core.dir/bpred.cc.o" "gcc" "src/core/CMakeFiles/simr_core.dir/bpred.cc.o.d"
+  "/root/repo/src/core/configs.cc" "src/core/CMakeFiles/simr_core.dir/configs.cc.o" "gcc" "src/core/CMakeFiles/simr_core.dir/configs.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/core/CMakeFiles/simr_core.dir/pipeline.cc.o" "gcc" "src/core/CMakeFiles/simr_core.dir/pipeline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/simr_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/simt/CMakeFiles/simr_simt.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/simr_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/simr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/simr_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simr_core.dir/bpred.cc.o"
+  "CMakeFiles/simr_core.dir/bpred.cc.o.d"
+  "CMakeFiles/simr_core.dir/configs.cc.o"
+  "CMakeFiles/simr_core.dir/configs.cc.o.d"
+  "CMakeFiles/simr_core.dir/pipeline.cc.o"
+  "CMakeFiles/simr_core.dir/pipeline.cc.o.d"
+  "libsimr_core.a"
+  "libsimr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simr_energy.dir/area.cc.o"
+  "CMakeFiles/simr_energy.dir/area.cc.o.d"
+  "CMakeFiles/simr_energy.dir/model.cc.o"
+  "CMakeFiles/simr_energy.dir/model.cc.o.d"
+  "libsimr_energy.a"
+  "libsimr_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simr_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

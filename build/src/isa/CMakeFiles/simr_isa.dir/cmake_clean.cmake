@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simr_isa.dir/builder.cc.o"
+  "CMakeFiles/simr_isa.dir/builder.cc.o.d"
+  "CMakeFiles/simr_isa.dir/isa.cc.o"
+  "CMakeFiles/simr_isa.dir/isa.cc.o.d"
+  "CMakeFiles/simr_isa.dir/program.cc.o"
+  "CMakeFiles/simr_isa.dir/program.cc.o.d"
+  "libsimr_isa.a"
+  "libsimr_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simr_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/address_space.cc" "src/mem/CMakeFiles/simr_mem.dir/address_space.cc.o" "gcc" "src/mem/CMakeFiles/simr_mem.dir/address_space.cc.o.d"
+  "/root/repo/src/mem/allocator.cc" "src/mem/CMakeFiles/simr_mem.dir/allocator.cc.o" "gcc" "src/mem/CMakeFiles/simr_mem.dir/allocator.cc.o.d"
+  "/root/repo/src/mem/cache.cc" "src/mem/CMakeFiles/simr_mem.dir/cache.cc.o" "gcc" "src/mem/CMakeFiles/simr_mem.dir/cache.cc.o.d"
+  "/root/repo/src/mem/coalescer.cc" "src/mem/CMakeFiles/simr_mem.dir/coalescer.cc.o" "gcc" "src/mem/CMakeFiles/simr_mem.dir/coalescer.cc.o.d"
+  "/root/repo/src/mem/dram.cc" "src/mem/CMakeFiles/simr_mem.dir/dram.cc.o" "gcc" "src/mem/CMakeFiles/simr_mem.dir/dram.cc.o.d"
+  "/root/repo/src/mem/hierarchy.cc" "src/mem/CMakeFiles/simr_mem.dir/hierarchy.cc.o" "gcc" "src/mem/CMakeFiles/simr_mem.dir/hierarchy.cc.o.d"
+  "/root/repo/src/mem/interconnect.cc" "src/mem/CMakeFiles/simr_mem.dir/interconnect.cc.o" "gcc" "src/mem/CMakeFiles/simr_mem.dir/interconnect.cc.o.d"
+  "/root/repo/src/mem/tlb.cc" "src/mem/CMakeFiles/simr_mem.dir/tlb.cc.o" "gcc" "src/mem/CMakeFiles/simr_mem.dir/tlb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/simr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/simr_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/simr_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

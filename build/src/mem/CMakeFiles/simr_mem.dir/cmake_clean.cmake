@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simr_mem.dir/address_space.cc.o"
+  "CMakeFiles/simr_mem.dir/address_space.cc.o.d"
+  "CMakeFiles/simr_mem.dir/allocator.cc.o"
+  "CMakeFiles/simr_mem.dir/allocator.cc.o.d"
+  "CMakeFiles/simr_mem.dir/cache.cc.o"
+  "CMakeFiles/simr_mem.dir/cache.cc.o.d"
+  "CMakeFiles/simr_mem.dir/coalescer.cc.o"
+  "CMakeFiles/simr_mem.dir/coalescer.cc.o.d"
+  "CMakeFiles/simr_mem.dir/dram.cc.o"
+  "CMakeFiles/simr_mem.dir/dram.cc.o.d"
+  "CMakeFiles/simr_mem.dir/hierarchy.cc.o"
+  "CMakeFiles/simr_mem.dir/hierarchy.cc.o.d"
+  "CMakeFiles/simr_mem.dir/interconnect.cc.o"
+  "CMakeFiles/simr_mem.dir/interconnect.cc.o.d"
+  "CMakeFiles/simr_mem.dir/tlb.cc.o"
+  "CMakeFiles/simr_mem.dir/tlb.cc.o.d"
+  "libsimr_mem.a"
+  "libsimr_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simr_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/services/emit.cc" "src/services/CMakeFiles/simr_services.dir/emit.cc.o" "gcc" "src/services/CMakeFiles/simr_services.dir/emit.cc.o.d"
+  "/root/repo/src/services/gpgpu.cc" "src/services/CMakeFiles/simr_services.dir/gpgpu.cc.o" "gcc" "src/services/CMakeFiles/simr_services.dir/gpgpu.cc.o.d"
+  "/root/repo/src/services/hdsearch.cc" "src/services/CMakeFiles/simr_services.dir/hdsearch.cc.o" "gcc" "src/services/CMakeFiles/simr_services.dir/hdsearch.cc.o.d"
+  "/root/repo/src/services/memcached.cc" "src/services/CMakeFiles/simr_services.dir/memcached.cc.o" "gcc" "src/services/CMakeFiles/simr_services.dir/memcached.cc.o.d"
+  "/root/repo/src/services/post.cc" "src/services/CMakeFiles/simr_services.dir/post.cc.o" "gcc" "src/services/CMakeFiles/simr_services.dir/post.cc.o.d"
+  "/root/repo/src/services/recommender.cc" "src/services/CMakeFiles/simr_services.dir/recommender.cc.o" "gcc" "src/services/CMakeFiles/simr_services.dir/recommender.cc.o.d"
+  "/root/repo/src/services/registry.cc" "src/services/CMakeFiles/simr_services.dir/registry.cc.o" "gcc" "src/services/CMakeFiles/simr_services.dir/registry.cc.o.d"
+  "/root/repo/src/services/search.cc" "src/services/CMakeFiles/simr_services.dir/search.cc.o" "gcc" "src/services/CMakeFiles/simr_services.dir/search.cc.o.d"
+  "/root/repo/src/services/service.cc" "src/services/CMakeFiles/simr_services.dir/service.cc.o" "gcc" "src/services/CMakeFiles/simr_services.dir/service.cc.o.d"
+  "/root/repo/src/services/user.cc" "src/services/CMakeFiles/simr_services.dir/user.cc.o" "gcc" "src/services/CMakeFiles/simr_services.dir/user.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/simr_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/simr_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/simr_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/simr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

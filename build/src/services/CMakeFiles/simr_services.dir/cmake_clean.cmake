@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simr_services.dir/emit.cc.o"
+  "CMakeFiles/simr_services.dir/emit.cc.o.d"
+  "CMakeFiles/simr_services.dir/gpgpu.cc.o"
+  "CMakeFiles/simr_services.dir/gpgpu.cc.o.d"
+  "CMakeFiles/simr_services.dir/hdsearch.cc.o"
+  "CMakeFiles/simr_services.dir/hdsearch.cc.o.d"
+  "CMakeFiles/simr_services.dir/memcached.cc.o"
+  "CMakeFiles/simr_services.dir/memcached.cc.o.d"
+  "CMakeFiles/simr_services.dir/post.cc.o"
+  "CMakeFiles/simr_services.dir/post.cc.o.d"
+  "CMakeFiles/simr_services.dir/recommender.cc.o"
+  "CMakeFiles/simr_services.dir/recommender.cc.o.d"
+  "CMakeFiles/simr_services.dir/registry.cc.o"
+  "CMakeFiles/simr_services.dir/registry.cc.o.d"
+  "CMakeFiles/simr_services.dir/search.cc.o"
+  "CMakeFiles/simr_services.dir/search.cc.o.d"
+  "CMakeFiles/simr_services.dir/service.cc.o"
+  "CMakeFiles/simr_services.dir/service.cc.o.d"
+  "CMakeFiles/simr_services.dir/user.cc.o"
+  "CMakeFiles/simr_services.dir/user.cc.o.d"
+  "libsimr_services.a"
+  "libsimr_services.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simr_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simr_simr.dir/cachestudy.cc.o"
+  "CMakeFiles/simr_simr.dir/cachestudy.cc.o.d"
+  "CMakeFiles/simr_simr.dir/runner.cc.o"
+  "CMakeFiles/simr_simr.dir/runner.cc.o.d"
+  "CMakeFiles/simr_simr.dir/tuner.cc.o"
+  "CMakeFiles/simr_simr.dir/tuner.cc.o.d"
+  "libsimr_simr.a"
+  "libsimr_simr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simr_simr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simr_simt.dir/lockstep.cc.o"
+  "CMakeFiles/simr_simt.dir/lockstep.cc.o.d"
+  "libsimr_simt.a"
+  "libsimr_simt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simr_simt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simr_sys.dir/uqsim.cc.o"
+  "CMakeFiles/simr_sys.dir/uqsim.cc.o.d"
+  "libsimr_sys.a"
+  "libsimr_sys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simr_sys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simr_trace.dir/interp.cc.o"
+  "CMakeFiles/simr_trace.dir/interp.cc.o.d"
+  "CMakeFiles/simr_trace.dir/stream.cc.o"
+  "CMakeFiles/simr_trace.dir/stream.cc.o.d"
+  "libsimr_trace.a"
+  "libsimr_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simr_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
