@@ -1,8 +1,8 @@
 /**
  * @file
  * Shared helpers for the reproduction benches: run-scale knobs from the
- * environment and the per-service chip-level run loop several figures
- * share.
+ * environment and the per-service chip-level sweep several figures
+ * share, fanned out through the parallel experiment harness.
  */
 
 #ifndef SIMR_BENCH_BENCH_COMMON_H
@@ -11,10 +11,12 @@
 #include <cmath>
 #include <cstdio>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/config.h"
+#include "common/parallel.h"
 #include "common/table.h"
 #include "simr/cachestudy.h"
 #include "simr/runner.h"
@@ -35,22 +37,93 @@ struct ChipRun
 
     double latencyRatio() const
     {
-        return other.core.reqLatency.mean() / other.core.freqGhz /
-            (cpu.core.reqLatency.mean() / cpu.core.freqGhz);
+        return other.core.meanLatencySeconds() /
+            cpu.core.meanLatencySeconds();
     }
 };
 
-/** Run every service under CPU + one comparison config. */
+namespace detail
+{
+
+/** Cache key: everything in TimingOptions that changes a CPU run. */
+inline std::string
+baselineKey(const std::string &service, const TimingOptions &opt)
+{
+    return service + "|" + std::to_string(static_cast<int>(opt.policy)) +
+        "|" + std::to_string(static_cast<int>(opt.reconv)) + "|" +
+        std::to_string(static_cast<int>(opt.alloc)) + "|" +
+        std::to_string(opt.requests) + "|" + std::to_string(opt.seed) +
+        "|" + std::to_string(opt.batchOverride) + "|" +
+        std::to_string(opt.useTunedBatch ? 1 : 0);
+}
+
+inline std::mutex &
+baselineMutex()
+{
+    static std::mutex mu;
+    return mu;
+}
+
+inline std::map<std::string, TimingRun> &
+baselineCache()
+{
+    static std::map<std::string, TimingRun> cache;
+    return cache;
+}
+
+} // namespace detail
+
+/**
+ * Run every service under CPU + one comparison config, fanned out cell
+ * by cell over the harness workers.
+ *
+ * The scalar-CPU baseline depends only on (service, opt), so it is
+ * computed once per binary and shared across calls: a bench comparing
+ * the RPU and then SMT-8 against the CPU pays for the 14 CPU cells
+ * once, not twice.
+ */
 inline std::map<std::string, ChipRun>
 runAllServices(const core::CoreConfig &other_cfg, const TimingOptions &opt)
 {
+    const auto &names = svc::serviceNames();
+    core::CoreConfig cpu_cfg = core::makeCpuConfig();
+
+    // Comparison cells always run; CPU cells only where the cache has
+    // no baseline yet for this (service, opt).
+    std::vector<Cell> cells;
+    std::vector<std::string> cpu_pending;
+    for (const auto &name : names)
+        cells.push_back({name, other_cfg, opt});
+    {
+        std::lock_guard<std::mutex> lock(detail::baselineMutex());
+        for (const auto &name : names)
+            if (!detail::baselineCache().count(
+                    detail::baselineKey(name, opt)))
+                cpu_pending.push_back(name);
+    }
+    for (const auto &name : cpu_pending)
+        cells.push_back({name, cpu_cfg, opt});
+
+    auto runs = runCells(cells);
+
+    {
+        std::lock_guard<std::mutex> lock(detail::baselineMutex());
+        for (size_t i = 0; i < cpu_pending.size(); ++i)
+            detail::baselineCache().emplace(
+                detail::baselineKey(cpu_pending[i], opt),
+                runs[names.size() + i]);
+    }
+
     std::map<std::string, ChipRun> out;
-    for (const auto &name : svc::serviceNames()) {
-        auto svc = svc::buildService(name);
-        ChipRun run;
-        run.cpu = runTiming(*svc, core::makeCpuConfig(), opt);
-        run.other = runTiming(*svc, other_cfg, opt);
-        out.emplace(name, std::move(run));
+    {
+        std::lock_guard<std::mutex> lock(detail::baselineMutex());
+        for (size_t i = 0; i < names.size(); ++i) {
+            ChipRun run;
+            run.cpu = detail::baselineCache().at(
+                detail::baselineKey(names[i], opt));
+            run.other = runs[i];
+            out.emplace(names[i], std::move(run));
+        }
     }
     return out;
 }

@@ -21,10 +21,17 @@ main()
 
     Table t("Figure 10: CPU dynamic energy breakdown per pipeline stage");
     t.header({"service", "frontend+OoO", "execution", "memory"});
+
+    const auto &names = svc::serviceNames();
+    std::vector<Cell> cells;
+    for (const auto &name : names)
+        cells.push_back({name, core::makeCpuConfig(), opt});
+    auto runs = runCells(cells);
+
     std::vector<double> fe_s, ex_s, me_s;
-    for (const auto &name : svc::serviceNames()) {
-        auto svc = svc::buildService(name);
-        auto run = runTiming(*svc, core::makeCpuConfig(), opt);
+    for (size_t i = 0; i < names.size(); ++i) {
+        const auto &name = names[i];
+        const auto &run = runs[i];
         double dyn = run.energy.dynamicTotal();
         double fe = (run.energy.frontendOoo + run.energy.simtOverhead) /
             dyn;

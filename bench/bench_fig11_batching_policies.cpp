@@ -24,29 +24,44 @@ main()
     t.header({"service", "naive", "per-api",
               "per-api+arg (ideal stack)", "per-api+arg (MinSP-PC)"});
 
+    // One fan-out cell per (service, policy/reconv) combination.
+    struct EffCell
+    {
+        std::string service;
+        batch::Policy policy;
+        simt::ReconvPolicy reconv;
+    };
+    const auto &names = svc::serviceNames();
+    std::vector<EffCell> cells;
+    for (const auto &name : names) {
+        cells.push_back({name, batch::Policy::Naive,
+                         simt::ReconvPolicy::MinSpPc});
+        cells.push_back({name, batch::Policy::PerApi,
+                         simt::ReconvPolicy::MinSpPc});
+        cells.push_back({name, batch::Policy::PerApiArgSize,
+                         simt::ReconvPolicy::StackIpdom});
+        cells.push_back({name, batch::Policy::PerApiArgSize,
+                         simt::ReconvPolicy::MinSpPc});
+    }
+    auto effs = parallelMap(cells, [&](const EffCell &c) {
+        auto svc = svc::buildService(c.service);
+        return measureEfficiency(*svc, c.policy, c.reconv, 32, n,
+                                 scale.seed);
+    });
+
     std::vector<double> naive_e, api_e, ideal_e, heur_e;
-    for (const auto &name : svc::serviceNames()) {
-        auto svc = svc::buildService(name);
-        auto naive = measureEfficiency(*svc, batch::Policy::Naive,
-                                       simt::ReconvPolicy::MinSpPc, 32,
-                                       n, scale.seed);
-        auto api = measureEfficiency(*svc, batch::Policy::PerApi,
-                                     simt::ReconvPolicy::MinSpPc, 32, n,
-                                     scale.seed);
-        auto ideal = measureEfficiency(*svc, batch::Policy::PerApiArgSize,
-                                       simt::ReconvPolicy::StackIpdom, 32,
-                                       n, scale.seed);
-        auto heur = measureEfficiency(*svc, batch::Policy::PerApiArgSize,
-                                      simt::ReconvPolicy::MinSpPc, 32, n,
-                                      scale.seed);
-        naive_e.push_back(naive.efficiency());
-        api_e.push_back(api.efficiency());
-        ideal_e.push_back(ideal.efficiency());
-        heur_e.push_back(heur.efficiency());
-        t.row({name, Table::pct(naive.efficiency()),
-               Table::pct(api.efficiency()),
-               Table::pct(ideal.efficiency()),
-               Table::pct(heur.efficiency())});
+    for (size_t i = 0; i < names.size(); ++i) {
+        const auto &name = names[i];
+        double naive = effs[4 * i + 0].efficiency();
+        double api = effs[4 * i + 1].efficiency();
+        double ideal = effs[4 * i + 2].efficiency();
+        double heur = effs[4 * i + 3].efficiency();
+        naive_e.push_back(naive);
+        api_e.push_back(api);
+        ideal_e.push_back(ideal);
+        heur_e.push_back(heur);
+        t.row({name, Table::pct(naive), Table::pct(api),
+               Table::pct(ideal), Table::pct(heur)});
     }
     t.row({"AVERAGE", Table::pct(geomean(naive_e)),
            Table::pct(geomean(api_e)), Table::pct(geomean(ideal_e)),

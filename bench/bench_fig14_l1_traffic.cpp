@@ -23,13 +23,23 @@ main()
     Table t("Figure 14: RPU L1 accesses normalized to CPU (640 requests)");
     t.header({"service", "CPU accesses", "RPU accesses", "RPU/CPU",
               "stack-coalesced", "same-word", "divergent"});
-    std::vector<double> ratios;
-    for (const auto &name : svc::serviceNames()) {
+    const auto &names = svc::serviceNames();
+    struct Study
+    {
+        CacheStudyResult cpu, rpu;
+    };
+    auto studies = parallelMap(names, [&](const std::string &name) {
         auto svc = svc::buildService(name);
         int bs = svc->traits().tunedBatch;
-        CacheStudyOptions ropt = opt;
-        auto cpu = studyCpuCache(*svc, opt);
-        auto rpu = studyRpuCache(*svc, bs, ropt);
+        return Study{studyCpuCache(*svc, opt),
+                     studyRpuCache(*svc, bs, opt)};
+    });
+
+    std::vector<double> ratios;
+    for (size_t i = 0; i < names.size(); ++i) {
+        const auto &name = names[i];
+        const auto &cpu = studies[i].cpu;
+        const auto &rpu = studies[i].rpu;
         double ratio = static_cast<double>(rpu.l1Accesses) /
             static_cast<double>(cpu.l1Accesses);
         ratios.push_back(ratio);

@@ -22,7 +22,9 @@ main()
 
     Table t("Figure 15: L1 MPKI, CPU 64KB vs RPU 256KB by batch size");
     t.header({"service", "CPU", "RPU-32", "RPU-16", "RPU-8", "RPU-4"});
-    for (const auto &name : svc::serviceNames()) {
+
+    const auto &names = svc::serviceNames();
+    auto rows = parallelMap(names, [&](const std::string &name) {
         auto svc = svc::buildService(name);
         CacheStudyOptions copt = opt;
         copt.l1KB = 64;
@@ -34,8 +36,10 @@ main()
             auto rpu = studyRpuCache(*svc, bs, ropt);
             row.push_back(Table::num(rpu.mpki(), 1));
         }
+        return row;
+    });
+    for (const auto &row : rows)
         t.row(row);
-    }
     t.print();
 
     std::printf("paper: leaves (search-leaf, hdsearch-leaf) thrash at "

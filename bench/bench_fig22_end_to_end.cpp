@@ -26,20 +26,25 @@ main()
             rpu ? std::vector<double>{5, 10, 20, 30, 40, 50, 60, 70, 80,
                                       90, 100}
                 : std::vector<double>{2, 4, 6, 8, 10, 12, 15, 18, 20, 25};
-        double max_ok = 0;
-        for (double kqps : loads_kqps) {
+        // Load points are independent system simulations: fan them out
+        // and keep the table rows (and max_ok scan) in load order.
+        auto results = parallelMap(loads_kqps, [&](double kqps) {
             sys::SysConfig cfg;
             cfg.qps = kqps * 1000;
             cfg.rpu = rpu;
             cfg.batchSplit = split;
             cfg.seed = scale.seed;
-            auto r = sys::runUserScenario(cfg);
-            t.row({label, Table::num(kqps, 0),
+            return sys::runUserScenario(cfg);
+        });
+        double max_ok = 0;
+        for (size_t i = 0; i < loads_kqps.size(); ++i) {
+            const auto &r = results[i];
+            t.row({label, Table::num(loads_kqps[i], 0),
                    Table::num(r.meanUs(), 0),
                    Table::num(r.p99Us(), 0)});
             // QoS: tail within ~1.5x the storage-path latency.
             if (r.p99Us() < 2500)
-                max_ok = kqps;
+                max_ok = loads_kqps[i];
         }
         return max_ok;
     };

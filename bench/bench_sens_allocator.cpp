@@ -23,24 +23,32 @@ main()
     Table t("SIMR-aware vs glibc-like heap allocation (RPU, banked L1)");
     t.header({"service", "conflict cyc (glibc)", "conflict cyc (simr)",
               "cycles (glibc)", "cycles (simr)", "speedup"});
+    // Full 32-wide batches make the bank pressure visible (the tuned
+    // batch of 8 hides it behind the compute chains).
+    TimingOptions agn = opt;
+    agn.alloc = mem::AllocPolicy::GlibcLike;
+    agn.batchOverride = 32;
+    TimingOptions aware = opt;
+    aware.alloc = mem::AllocPolicy::SimrAware;
+    aware.batchOverride = 32;
+    const std::vector<std::string> names = {"hdsearch-leaf", "search-leaf",
+                                            "recommender-leaf",
+                                            "hdsearch-mid"};
+    std::vector<Cell> cells;
+    for (const auto &name : names) {
+        cells.push_back({name, core::makeRpuConfig(), agn});
+        cells.push_back({name, core::makeRpuConfig(), aware});
+    }
+    auto runs = runCells(cells);
+
     std::vector<double> speedups;
-    for (const auto &name : {"hdsearch-leaf", "search-leaf",
-                             "recommender-leaf", "hdsearch-mid"}) {
-        auto svc = svc::buildService(name);
-        // Full 32-wide batches make the bank pressure visible (the
-        // tuned batch of 8 hides it behind the compute chains).
-        TimingOptions agn = opt;
-        agn.alloc = mem::AllocPolicy::GlibcLike;
-        agn.batchOverride = 32;
-        TimingOptions aware = opt;
-        aware.alloc = mem::AllocPolicy::SimrAware;
-        aware.batchOverride = 32;
-        auto r_agn = runTiming(*svc, core::makeRpuConfig(), agn);
-        auto r_aw = runTiming(*svc, core::makeRpuConfig(), aware);
+    for (size_t i = 0; i < names.size(); ++i) {
+        const auto &r_agn = runs[2 * i];
+        const auto &r_aw = runs[2 * i + 1];
         double s = static_cast<double>(r_agn.core.cycles) /
             static_cast<double>(r_aw.core.cycles);
         speedups.push_back(s);
-        t.row({name,
+        t.row({names[i],
                std::to_string(r_agn.core.hierStats.l1BankConflictCycles),
                std::to_string(r_aw.core.hierStats.l1BankConflictCycles),
                std::to_string(r_agn.core.cycles),

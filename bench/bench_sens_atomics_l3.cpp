@@ -23,18 +23,25 @@ main()
     Table t("Atomics at L3 vs in private L1 (RPU)");
     t.header({"service", "cycles atomics@L1", "cycles atomics@L3",
               "slowdown"});
+    auto l3_cfg = core::makeRpuConfig();
+    auto l1_cfg = core::makeRpuConfig();
+    l1_cfg.mem.atomicsAtL3 = false;
+    const auto &names = svc::serviceNames();
+    std::vector<Cell> cells;
+    for (const auto &name : names) {
+        cells.push_back({name, l1_cfg, opt});
+        cells.push_back({name, l3_cfg, opt});
+    }
+    auto runs = runCells(cells);
+
     std::vector<double> slow;
-    for (const auto &name : svc::serviceNames()) {
-        auto svc = svc::buildService(name);
-        auto l3_cfg = core::makeRpuConfig();
-        auto l1_cfg = core::makeRpuConfig();
-        l1_cfg.mem.atomicsAtL3 = false;
-        auto r_l1 = runTiming(*svc, l1_cfg, opt);
-        auto r_l3 = runTiming(*svc, l3_cfg, opt);
+    for (size_t i = 0; i < names.size(); ++i) {
+        const auto &r_l1 = runs[2 * i];
+        const auto &r_l3 = runs[2 * i + 1];
         double s = static_cast<double>(r_l3.core.cycles) /
             static_cast<double>(r_l1.core.cycles);
         slow.push_back(s);
-        t.row({name, std::to_string(r_l1.core.cycles),
+        t.row({names[i], std::to_string(r_l1.core.cycles),
                std::to_string(r_l3.core.cycles), Table::mult(s)});
     }
     t.row({"AVERAGE", "", "", Table::mult(geomean(slow))});

@@ -24,18 +24,25 @@ main()
     Table t("Majority-voting BP vs single-lane BP (RPU)");
     t.header({"service", "mispredicts (vote)", "mispredicts (lane0)",
               "cycles (vote)", "cycles (lane0)", "perf delta"});
+    auto vote_cfg = core::makeRpuConfig();
+    auto lane_cfg = core::makeRpuConfig();
+    lane_cfg.majorityVoteBp = false;
+    const auto &names = svc::serviceNames();
+    std::vector<Cell> cells;
+    for (const auto &name : names) {
+        cells.push_back({name, vote_cfg, opt});
+        cells.push_back({name, lane_cfg, opt});
+    }
+    auto runs = runCells(cells);
+
     std::vector<double> deltas;
-    for (const auto &name : svc::serviceNames()) {
-        auto svc = svc::buildService(name);
-        auto vote_cfg = core::makeRpuConfig();
-        auto lane_cfg = core::makeRpuConfig();
-        lane_cfg.majorityVoteBp = false;
-        auto rv = runTiming(*svc, vote_cfg, opt);
-        auto rl = runTiming(*svc, lane_cfg, opt);
+    for (size_t i = 0; i < names.size(); ++i) {
+        const auto &rv = runs[2 * i];
+        const auto &rl = runs[2 * i + 1];
         double d = static_cast<double>(rl.core.cycles) /
             static_cast<double>(rv.core.cycles);
         deltas.push_back(d);
-        t.row({name, std::to_string(rv.core.bpStats.mispredicts),
+        t.row({names[i], std::to_string(rv.core.bpStats.mispredicts),
                std::to_string(rl.core.bpStats.mispredicts),
                std::to_string(rv.core.cycles),
                std::to_string(rl.core.cycles), Table::mult(d)});

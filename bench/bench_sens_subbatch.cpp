@@ -23,19 +23,26 @@ main()
     Table t("Sub-batch interleaving: 8 SIMT lanes vs 32 full-width");
     t.header({"service", "cycles @32 lanes", "cycles @8 lanes",
               "slowdown"});
+    auto cfg8 = core::makeRpuConfig();
+    cfg8.lanes = 8;
+    auto cfg32 = core::makeRpuConfig();
+    cfg32.lanes = 32;
+    const auto &names = svc::serviceNames();
+    std::vector<Cell> cells;
+    for (const auto &name : names) {
+        cells.push_back({name, cfg8, opt});
+        cells.push_back({name, cfg32, opt});
+    }
+    auto runs = runCells(cells);
+
     std::vector<double> slow;
-    for (const auto &name : svc::serviceNames()) {
-        auto svc = svc::buildService(name);
-        auto cfg8 = core::makeRpuConfig();
-        cfg8.lanes = 8;
-        auto cfg32 = core::makeRpuConfig();
-        cfg32.lanes = 32;
-        auto r8 = runTiming(*svc, cfg8, opt);
-        auto r32 = runTiming(*svc, cfg32, opt);
+    for (size_t i = 0; i < names.size(); ++i) {
+        const auto &r8 = runs[2 * i];
+        const auto &r32 = runs[2 * i + 1];
         double s = static_cast<double>(r8.core.cycles) /
             static_cast<double>(r32.core.cycles);
         slow.push_back(s);
-        t.row({name, std::to_string(r32.core.cycles),
+        t.row({names[i], std::to_string(r32.core.cycles),
                std::to_string(r8.core.cycles), Table::mult(s)});
     }
     t.row({"AVERAGE", "", "", Table::mult(geomean(slow))});

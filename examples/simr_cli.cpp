@@ -8,6 +8,8 @@
  *   simr_cli timing <service> --config cpu|smt8|rpu|gpu [--requests N]
  *            [--alloc glibc|simr] [--batch N]
  *   simr_cli tune <service>
+ *   simr_cli sweep [--config cpu|smt8|rpu|gpu] [--requests N]
+ *            [--threads N]
  *   simr_cli cluster [--qps N] [--rpu] [--nosplit]
  *
  * Exit codes: 0 success, 1 usage error, 2 unknown service.
@@ -17,6 +19,7 @@
 #include <cstring>
 #include <string>
 
+#include "common/parallel.h"
 #include "common/table.h"
 #include "simr/cachestudy.h"
 #include "simr/runner.h"
@@ -58,6 +61,8 @@ usage()
         "  simr_cli timing <service> --config cpu|smt8|rpu|gpu\n"
         "           [--requests N] [--alloc glibc|simr] [--batch N]\n"
         "  simr_cli tune <service>\n"
+        "  simr_cli sweep [--config cpu|smt8|rpu|gpu] [--requests N]\n"
+        "           [--threads N]\n"
         "  simr_cli cluster [--qps N] [--rpu] [--nosplit]\n");
     return 1;
 }
@@ -176,6 +181,48 @@ cmdTune(const std::string &name)
 }
 
 int
+cmdSweep(int argc, char **argv)
+{
+    std::string cfg_name = flag(argc, argv, "--config", "rpu");
+    core::CoreConfig cfg;
+    if (cfg_name == "cpu")
+        cfg = core::makeCpuConfig();
+    else if (cfg_name == "smt8")
+        cfg = core::makeSmt8Config();
+    else if (cfg_name == "rpu")
+        cfg = core::makeRpuConfig();
+    else if (cfg_name == "gpu")
+        cfg = core::makeGpuConfig();
+    else
+        return usage();
+
+    TimingOptions opt;
+    opt.requests = std::stoi(flag(argc, argv, "--requests", "512"));
+    int threads = std::stoi(flag(argc, argv, "--threads", "0"));
+
+    std::vector<Cell> cells;
+    for (const auto &n : svc::serviceNames())
+        cells.push_back({n, cfg, opt});
+    auto runs = runCells(cells, threads);
+
+    Table t("sweep: all services on " + cfg.name + " (" +
+            std::to_string(threads > 0 ? threads : defaultThreads()) +
+            " harness threads)");
+    t.header({"service", "cycles", "IPC", "mean lat (us)",
+              "L1 miss", "req/J"});
+    for (size_t i = 0; i < cells.size(); ++i) {
+        const auto &run = runs[i];
+        t.row({cells[i].service, std::to_string(run.core.cycles),
+               Table::num(run.core.ipc(), 2),
+               Table::num(run.core.meanLatencyUs(), 3),
+               Table::pct(run.core.l1Stats.missRate()),
+               Table::num(run.reqPerJoule(), 0)});
+    }
+    t.print();
+    return 0;
+}
+
+int
 cmdCluster(int argc, char **argv)
 {
     sys::SysConfig cfg;
@@ -206,6 +253,8 @@ main(int argc, char **argv)
     std::string cmd = argv[1];
     if (cmd == "list")
         return cmdList();
+    if (cmd == "sweep")
+        return cmdSweep(argc, argv);
     if (cmd == "cluster")
         return cmdCluster(argc, argv);
     if (argc < 3)

@@ -1,11 +1,25 @@
 #include "common/logging.h"
 
 #include <cstdarg>
+#include <mutex>
 
 namespace simr
 {
 namespace detail
 {
+
+namespace
+{
+
+/** Serializes log lines from parallel harness workers. */
+std::mutex &
+logMutex()
+{
+    static std::mutex mu;
+    return mu;
+}
+
+} // namespace
 
 std::string
 vformat(const char *fmt, va_list ap)
@@ -25,6 +39,7 @@ vformat(const char *fmt, va_list ap)
 void
 logLine(const char *prefix, const std::string &msg)
 {
+    std::lock_guard<std::mutex> lock(logMutex());
     std::fprintf(stderr, "%s%s\n", prefix, msg.c_str());
     std::fflush(stderr);
 }

@@ -10,9 +10,12 @@ Histogram::percentile(double p) const
 {
     if (samples_.empty())
         return 0.0;
-    if (!sorted_) {
-        std::sort(samples_.begin(), samples_.end());
-        sorted_ = true;
+    {
+        std::lock_guard<std::mutex> lock(sortMu_);
+        if (!sorted_) {
+            std::sort(samples_.begin(), samples_.end());
+            sorted_ = true;
+        }
     }
     if (p <= 0.0)
         return samples_.front();

@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -85,10 +86,40 @@ class RunningStat
  * Sample reservoir with exact percentiles. Latency distributions in the
  * system simulator are small enough (<= millions of samples) to keep all
  * samples; percentile() sorts lazily.
+ *
+ * The lazy sort mutates cached state from a const method, so it is
+ * guarded by a mutex: results cached by the parallel experiment harness
+ * (e.g. the shared CPU baseline runs) are read concurrently. add() and
+ * clear() remain single-writer, like every other stats container here.
  */
 class Histogram
 {
   public:
+    Histogram() = default;
+    Histogram(const Histogram &o)
+        : samples_(o.samples_), sorted_(o.sorted_), stat_(o.stat_) {}
+    Histogram(Histogram &&o) noexcept
+        : samples_(std::move(o.samples_)), sorted_(o.sorted_),
+          stat_(o.stat_) {}
+    Histogram &
+    operator=(const Histogram &o)
+    {
+        if (this != &o) {
+            samples_ = o.samples_;
+            sorted_ = o.sorted_;
+            stat_ = o.stat_;
+        }
+        return *this;
+    }
+    Histogram &
+    operator=(Histogram &&o) noexcept
+    {
+        samples_ = std::move(o.samples_);
+        sorted_ = o.sorted_;
+        stat_ = o.stat_;
+        return *this;
+    }
+
     void
     add(double x)
     {
@@ -116,6 +147,7 @@ class Histogram
   private:
     mutable std::vector<double> samples_;
     mutable bool sorted_ = false;
+    mutable std::mutex sortMu_;   ///< guards the lazy percentile() sort
     RunningStat stat_;
 };
 

@@ -203,7 +203,7 @@ TimingCore::fetch(uint64_t cycle)
 
             size_t slot = (robHead_ + robCount_) % rob_.size();
             RobEntry &e = rob_[slot];
-            e.op = op;
+            e.op.copyFrom(op);
             e.stream = si;
             e.seq = ++s.fetchedSeq;
             e.doneCycle = 0;

@@ -78,11 +78,30 @@ struct CoreResult
         return s > 0 ? static_cast<double>(requests) / s : 0.0;
     }
 
+    /**
+     * Convert a latency measured in this core's cycles to seconds. The
+     * single definition of the cycles->seconds conversion: ratios
+     * between cores at different clocks must go through this (dividing
+     * raw cycle counts compares apples to oranges).
+     */
+    double
+    cyclesToSeconds(double latency_cycles) const
+    {
+        return latency_cycles / (freqGhz * 1e9);
+    }
+
+    /** Mean request latency in seconds. */
+    double
+    meanLatencySeconds() const
+    {
+        return cyclesToSeconds(reqLatency.mean());
+    }
+
     /** Mean request latency in microseconds. */
     double
     meanLatencyUs() const
     {
-        return reqLatency.mean() / (freqGhz * 1e3);
+        return meanLatencySeconds() * 1e6;
     }
 };
 

@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 
 namespace simr
 {
@@ -158,6 +159,40 @@ runTiming(const svc::Service &svc, const core::CoreConfig &cfg,
         run.core, energy::EnergyParams::forConfig(cfg),
         cfg.chipStaticWatts / cfg.chipCores);
     return run;
+}
+
+uint64_t
+cellSeed(uint64_t master, const std::string &service,
+         const core::CoreConfig &cfg)
+{
+    // The seed is a pure function of the cell's identity, never of
+    // when or where the cell runs -- that is what makes sweep results
+    // bit-identical to the serial order at any thread count. Only
+    // fields that parameterize the *request stream* may contribute:
+    // today that is the service (and any future workload knobs a
+    // config might grow -- which is why cfg is part of the contract).
+    // Core-flavour fields (name, widths, latencies) deliberately do
+    // not, so every config of a service executes the identical request
+    // sample and cross-config ratios stay apples-to-apples.
+    (void)cfg;
+    uint64_t h = mix64(master ^ 0x51e5a11edULL);
+    h = mix64(h ^ std::hash<std::string>{}(service));
+    return h;
+}
+
+std::vector<TimingRun>
+runCells(const std::vector<Cell> &cells, int threads)
+{
+    std::vector<TimingRun> out(cells.size());
+    parallelFor(cells.size(), [&](size_t i) {
+        const Cell &cell = cells[i];
+        auto svc = svc::buildService(cell.service);
+        simr_assert(svc != nullptr, "unknown service in cell sweep");
+        TimingOptions opt = cell.opt;
+        opt.seed = cellSeed(cell.opt.seed, cell.service, cell.cfg);
+        out[i] = runTiming(*svc, cell.cfg, opt);
+    }, threads);
+    return out;
 }
 
 } // namespace simr

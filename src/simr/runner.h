@@ -94,6 +94,36 @@ struct TimingOptions
 TimingRun runTiming(const svc::Service &svc, const core::CoreConfig &cfg,
                     const TimingOptions &opt);
 
+/**
+ * One experiment cell of a sweep: a service under a core configuration
+ * with run options. The unit of parallelism in the experiment harness.
+ */
+struct Cell
+{
+    std::string service;      ///< registry name (svc::buildService)
+    core::CoreConfig cfg;
+    TimingOptions opt;
+};
+
+/**
+ * Seed for one cell, derived from the master seed and the cell identity
+ * (service name + the config fields that change what executes). Because
+ * the seed depends only on what the cell *is* -- never on when or where
+ * it runs -- sweep results are bit-identical to the serial order at any
+ * thread count.
+ */
+uint64_t cellSeed(uint64_t master, const std::string &service,
+                  const core::CoreConfig &cfg);
+
+/**
+ * Run a sweep of cells, fanned out over `threads` workers
+ * (0 = defaultThreads(), 1 = serial on the calling thread). Each cell
+ * builds its own service instance and runs runTiming with its derived
+ * cellSeed; results return in input order.
+ */
+std::vector<TimingRun> runCells(const std::vector<Cell> &cells,
+                                int threads = 0);
+
 } // namespace simr
 
 #endif // SIMR_SIMR_RUNNER_H

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "simr/cachestudy.h"
 #include "simr/runner.h"
 
@@ -18,11 +19,10 @@ tuneBatchSize(const svc::Service &svc, const TunerConfig &cfg)
     std::vector<int> sizes = cfg.candidates;
     std::sort(sizes.begin(), sizes.end());
 
-    // Profile ascending so the smallest batch establishes the MPKI
-    // floor the thrash test compares against.
-    double floor_mpki = 0;
-    for (size_t i = 0; i < sizes.size(); ++i) {
-        int bs = sizes[i];
+    // Candidate profiles are independent, so fan them out; the
+    // acceptability pass below is serial because the smallest batch
+    // establishes the MPKI floor the thrash test compares against.
+    res.points = parallelMap(sizes, [&](int bs) {
         CacheStudyOptions copt;
         copt.requests = cfg.profileRequests;
         copt.seed = cfg.seed;
@@ -37,16 +37,18 @@ tuneBatchSize(const svc::Service &svc, const TunerConfig &cfg)
         p.batchSize = bs;
         p.mpki = cache.mpki();
         p.efficiency = eff.efficiency();
-        if (i == 0)
-            floor_mpki = p.mpki;
+        return p;
+    });
+
+    double floor_mpki = res.points.front().mpki;
+    for (auto &p : res.points) {
         p.acceptable =
             p.mpki <= cfg.thrashFactor * floor_mpki + cfg.mpkiSlack &&
             p.efficiency >= cfg.minEfficiency;
-        res.points.push_back(p);
 
         // Largest acceptable batch wins.
-        if (p.acceptable && bs > res.chosenBatch)
-            res.chosenBatch = bs;
+        if (p.acceptable && p.batchSize > res.chosenBatch)
+            res.chosenBatch = p.batchSize;
     }
     // Nothing fit the budget: fall back to the smallest candidate.
     if (res.chosenBatch == 0)
@@ -54,4 +56,4 @@ tuneBatchSize(const svc::Service &svc, const TunerConfig &cfg)
     return res;
 }
 
-} // namespace simr::batch
+} // namespace simr::tune

@@ -38,6 +38,7 @@ LockstepEngine::LockstepEngine(const isa::Program &prog,
     threads_.reserve(static_cast<size_t>(width_));
     for (int i = 0; i < width_; ++i)
         threads_.push_back(std::make_unique<trace::ThreadState>(prog_));
+    inits_.reserve(static_cast<size_t>(width_));
     stagnation_.assign(static_cast<size_t>(width_), 0);
     lastPos_.assign(static_cast<size_t>(width_), 0);
 }
@@ -47,18 +48,17 @@ LockstepEngine::~LockstepEngine() = default;
 bool
 LockstepEngine::launchNext()
 {
-    std::vector<trace::ThreadInit> inits;
-    int n = provider_ ? provider_(inits) : 0;
+    int n = provider_ ? provider_(inits_) : 0;
     if (n <= 0)
         return false;
     simr_assert(n <= width_ &&
-                inits.size() == static_cast<size_t>(n),
+                inits_.size() == static_cast<size_t>(n),
                 "batch provider size mismatch");
 
     liveMask_ = 0;
     batchSize_ = n;
     for (int i = 0; i < n; ++i) {
-        threads_[static_cast<size_t>(i)]->reset(inits[static_cast<size_t>(i)]);
+        threads_[static_cast<size_t>(i)]->reset(inits_[static_cast<size_t>(i)]);
         if (!threads_[static_cast<size_t>(i)]->done())
             liveMask_ |= (1u << i);
     }
@@ -100,6 +100,10 @@ LockstepEngine::execGroup(Mask mask, DynOp &op)
     op.dep2 = 0;
     op.pathSwitch = false;
 
+    // Every active lane executes the same static instruction, so the
+    // opInfo lookup is hoisted out of the lane loop: resolved once on
+    // the first lane, reused (isMem here, writesReg below) for the rest.
+    const isa::OpInfo *info = nullptr;
     for (int lane = 0; lane < batchSize_; ++lane) {
         if (!(mask & (1u << lane)))
             continue;
@@ -111,13 +115,14 @@ LockstepEngine::execGroup(Mask mask, DynOp &op)
             op.pc = r.pc;
             op.callDepth = r.callDepth;
             op.accessSize = r.accessSize;
+            info = &isa::opInfo(r.si->op);
         } else {
             simr_assert(op.si == r.si,
                         "lockstep group executed different instructions");
         }
         if (r.taken)
             op.takenMask |= (1u << lane);
-        if (isa::opInfo(r.si->op).isMem) {
+        if (info->isMem) {
             op.lane[op.addrCount] = static_cast<uint8_t>(lane);
             op.addr[op.addrCount] = r.addr;
             ++op.addrCount;
@@ -142,7 +147,7 @@ LockstepEngine::execGroup(Mask mask, DynOp &op)
     };
     op.dep1 = op.dep1 ? bdep(op.si->src1) : 0;
     op.dep2 = op.dep2 ? bdep(op.si->src2) : 0;
-    if (isa::opInfo(op.si->op).writesReg)
+    if (info->writesReg)
         lastWriterB_[op.si->dst] = batchOpIdx_;
 
     ++stats_.batchOps;

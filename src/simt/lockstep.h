@@ -123,6 +123,7 @@ class LockstepEngine : public trace::DynStream
     SpinEscapeConfig spin_;
 
     std::vector<std::unique_ptr<trace::ThreadState>> threads_;
+    std::vector<trace::ThreadInit> inits_;  ///< reused across launches
     trace::Mask liveMask_ = 0;
     int batchSize_ = 0;
     bool batchActive_ = false;

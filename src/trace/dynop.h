@@ -58,6 +58,33 @@ struct DynOp
     bool isBranch() const { return si && si->op == isa::Op::Branch; }
     bool isCtrl() const { return si && isa::opInfo(si->op).isCtrl; }
     int activeLanes() const { return popcount(mask); }
+
+    /**
+     * Copy another op's payload, touching only the addrCount-long prefix
+     * of the lane/addr arrays. The full struct copy moves ~300 bytes per
+     * dynamic instruction through the ROB even when the op has no memory
+     * addresses; this is the hot-path alternative.
+     */
+    void
+    copyFrom(const DynOp &o)
+    {
+        si = o.si;
+        pc = o.pc;
+        mask = o.mask;
+        takenMask = o.takenMask;
+        callDepth = o.callDepth;
+        dep1 = o.dep1;
+        dep2 = o.dep2;
+        accessSize = o.accessSize;
+        addrCount = o.addrCount;
+        pathSwitch = o.pathSwitch;
+        endMask = o.endMask;
+        batchStart = o.batchStart;
+        for (uint8_t i = 0; i < o.addrCount; ++i) {
+            lane[i] = o.lane[i];
+            addr[i] = o.addr[i];
+        }
+    }
 };
 
 } // namespace simr::trace

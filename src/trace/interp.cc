@@ -52,25 +52,29 @@ isa::Pc
 ThreadState::curPc() const
 {
     simr_assert(!done_, "curPc on a finished thread");
-    return prog_.pcOf(block_, idx_);
+    return bbPc_ + static_cast<isa::Pc>(idx_) * isa::kInstBytes;
 }
 
 const isa::StaticInst &
 ThreadState::curInst() const
 {
     simr_assert(!done_, "curInst on a finished thread");
-    return prog_.block(block_).insts[idx_];
+    return bb_->insts[idx_];
 }
 
 void
 ThreadState::normalize()
 {
     // Move past block ends and through empty blocks until we sit on a
-    // real instruction (or discover the program is ill-formed).
+    // real instruction (or discover the program is ill-formed), then
+    // refresh the position cache the step loop reads.
     while (!done_) {
         const isa::BasicBlock &bb = prog_.block(block_);
-        if (idx_ < bb.insts.size())
+        if (idx_ < bb.insts.size()) {
+            bb_ = &bb;
+            bbPc_ = prog_.blockPc(block_);
             return;
+        }
         simr_assert(bb.fallthrough >= 0,
                     "fell off a block with no fallthrough");
         block_ = bb.fallthrough;
@@ -137,12 +141,12 @@ void
 ThreadState::step(StepResult &out)
 {
     simr_assert(!done_, "step on a finished thread");
-    const isa::BasicBlock &bb = prog_.block(block_);
+    const isa::BasicBlock &bb = *bb_;
     const StaticInst &si = bb.insts[idx_];
 
     ++dynCount_;
     out.si = &si;
-    out.pc = prog_.pcOf(block_, idx_);
+    out.pc = bbPc_ + static_cast<isa::Pc>(idx_) * isa::kInstBytes;
     out.taken = false;
     out.addr = 0;
     out.accessSize = 0;

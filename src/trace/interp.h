@@ -107,6 +107,11 @@ class ThreadState
     std::vector<Frame> callStack_;
     int block_ = -1;
     size_t idx_ = 0;
+    // Position cache, refreshed by normalize(): the current basic block
+    // and its base PC, so the per-op inner loop avoids the
+    // bounds-checked program lookups. Valid while !done_.
+    const isa::BasicBlock *bb_ = nullptr;
+    isa::Pc bbPc_ = 0;
     bool done_ = true;
     uint64_t dynCount_ = 0;
     uint64_t atomicCount_ = 0;

@@ -241,6 +241,27 @@ TEST(TimingCore, LatencyIsPositiveAndBounded)
               static_cast<double>(run.core.cycles));
 }
 
+TEST(CoreResult, CyclesToSecondsPinned)
+{
+    // Pins the cycles->seconds conversion that latencyRatio() and the
+    // end-to-end load sweep depend on: cycles / (freqGhz * 1e9).
+    CoreResult r;
+    r.freqGhz = 2.5;
+    EXPECT_DOUBLE_EQ(r.cyclesToSeconds(2.5e9), 1.0);
+    EXPECT_DOUBLE_EQ(r.cyclesToSeconds(2500.0), 1e-6);
+
+    r.reqLatency.add(1000.0);
+    r.reqLatency.add(3000.0);  // mean latency: 2000 cycles
+    EXPECT_DOUBLE_EQ(r.meanLatencySeconds(), 2000.0 / 2.5e9);
+    EXPECT_DOUBLE_EQ(r.meanLatencyUs(), 0.8);
+
+    // A slower clock makes the same cycle count take longer, so the
+    // ratio between two cores must be taken in *seconds*, not cycles.
+    CoreResult slow;
+    slow.freqGhz = 1.25;
+    EXPECT_DOUBLE_EQ(slow.cyclesToSeconds(2.5e9), 2.0);
+}
+
 TEST(TimingCore, SubBatchLaneSweepMonotone)
 {
     // More SIMT lanes never slow the batch down.

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Tests for the parallel experiment harness: pool lifecycle and
+ * exception propagation, parallelFor/parallelMap semantics, and the
+ * cell-sweep determinism contract (runCells must produce bit-identical
+ * TimingRun statistics at any worker count).
+ */
+
+#include <atomic>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+#include "simr/runner.h"
+
+using namespace simr;
+
+TEST(ThreadPool, RunsAllTasks)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.threads(), 4);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 100; ++i)
+        pool.run([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ReusableAfterWait)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    pool.run([&count] { ++count; });
+    pool.wait();
+    pool.run([&count] { ++count; });
+    pool.run([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPool, ShutdownDrainsQueue)
+{
+    std::atomic<int> count{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 50; ++i)
+            pool.run([&count] { ++count; });
+        // Destructor must drain the queue before joining.
+    }
+    EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, ShutdownIdempotent)
+{
+    ThreadPool pool(2);
+    pool.run([] {});
+    pool.shutdown();
+    pool.shutdown();  // second call is a no-op
+}
+
+TEST(ThreadPool, WaitRethrowsFirstTaskException)
+{
+    ThreadPool pool(2);
+    pool.run([] { throw std::runtime_error("task boom"); });
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    // The error is cleared by the rethrow: the pool stays usable.
+    std::atomic<int> count{0};
+    pool.run([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ParallelFor, CoversRangeExactlyOnce)
+{
+    std::vector<std::atomic<int>> hits(1000);
+    parallelFor(hits.size(), [&](size_t i) { ++hits[i]; }, 8);
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, SerialFallbackPreservesOrder)
+{
+    std::vector<size_t> order;
+    parallelFor(10, [&](size_t i) { order.push_back(i); }, 1);
+    ASSERT_EQ(order.size(), 10u);
+    for (size_t i = 0; i < order.size(); ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(ParallelFor, PropagatesBodyException)
+{
+    EXPECT_THROW(
+        parallelFor(64, [&](size_t i) {
+            if (i == 13)
+                throw std::runtime_error("body boom");
+        }, 4),
+        std::runtime_error);
+}
+
+TEST(ParallelFor, SerialExceptionAlsoPropagates)
+{
+    EXPECT_THROW(
+        parallelFor(4, [&](size_t i) {
+            if (i == 2)
+                throw std::logic_error("serial boom");
+        }, 1),
+        std::logic_error);
+}
+
+TEST(ParallelMap, ResultsInInputOrder)
+{
+    std::vector<int> xs(257);
+    for (size_t i = 0; i < xs.size(); ++i)
+        xs[i] = static_cast<int>(i);
+    auto ys = parallelMap(xs, [](int x) { return 2 * x + 1; }, 8);
+    ASSERT_EQ(ys.size(), xs.size());
+    for (size_t i = 0; i < ys.size(); ++i)
+        EXPECT_EQ(ys[i], 2 * static_cast<int>(i) + 1);
+}
+
+TEST(ParallelConfig, ThreadOverrideWins)
+{
+    setDefaultThreads(3);
+    EXPECT_EQ(defaultThreads(), 3);
+    setDefaultThreads(0);
+    EXPECT_GE(defaultThreads(), 1);
+}
+
+TEST(CellSeed, PureFunctionOfIdentity)
+{
+    auto cpu = core::makeCpuConfig();
+    auto rpu = core::makeRpuConfig();
+    EXPECT_EQ(cellSeed(42, "post", cpu), cellSeed(42, "post", cpu));
+    EXPECT_NE(cellSeed(42, "post", cpu), cellSeed(42, "user", cpu));
+    EXPECT_NE(cellSeed(42, "post", cpu), cellSeed(43, "post", cpu));
+    // Config flavours of one service share the request stream.
+    EXPECT_EQ(cellSeed(42, "post", cpu), cellSeed(42, "post", rpu));
+}
+
+namespace
+{
+
+/** The stats the determinism contract pins, compared bit-for-bit. */
+void
+expectIdenticalRuns(const simr::TimingRun &a, const simr::TimingRun &b)
+{
+    EXPECT_EQ(a.core.cycles, b.core.cycles);
+    EXPECT_EQ(a.core.batchOps, b.core.batchOps);
+    EXPECT_EQ(a.core.scalarInsts, b.core.scalarInsts);
+    EXPECT_EQ(a.core.requests, b.core.requests);
+    EXPECT_EQ(a.core.reqLatency.count(), b.core.reqLatency.count());
+    EXPECT_EQ(a.core.reqLatency.mean(), b.core.reqLatency.mean());
+    EXPECT_EQ(a.core.reqLatency.percentile(0.99),
+              b.core.reqLatency.percentile(0.99));
+    EXPECT_EQ(a.core.l1Stats.accesses, b.core.l1Stats.accesses);
+    EXPECT_EQ(a.core.l1Stats.misses, b.core.l1Stats.misses);
+    EXPECT_EQ(a.energy.total(), b.energy.total());
+    EXPECT_EQ(a.reqPerJoule(), b.reqPerJoule());
+}
+
+} // namespace
+
+TEST(RunCells, DeterministicAcrossThreadCounts)
+{
+    TimingOptions opt;
+    opt.requests = 96;
+    opt.seed = 42;
+
+    // Three services under two configs: enough cells to interleave.
+    std::vector<Cell> cells;
+    for (const char *name : {"post", "memc", "user"}) {
+        cells.push_back({name, core::makeCpuConfig(), opt});
+        cells.push_back({name, core::makeRpuConfig(), opt});
+    }
+
+    auto serial = runCells(cells, 1);
+    int hw = hardwareThreads();
+    auto parallel = runCells(cells, hw);
+
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+        SCOPED_TRACE("cell " + std::to_string(i));
+        expectIdenticalRuns(serial[i], parallel[i]);
+    }
+
+    // And a second parallel sweep agrees too (no run-to-run jitter).
+    auto again = runCells(cells, hw > 2 ? 2 : hw);
+    for (size_t i = 0; i < serial.size(); ++i)
+        expectIdenticalRuns(serial[i], again[i]);
+}
