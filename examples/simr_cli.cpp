@@ -3,6 +3,7 @@
  * simr_cli: run any experiment from the command line.
  *
  *   simr_cli list
+ *   simr_cli analyze <service>|--all [--json] [--crosscheck]
  *   simr_cli efficiency <service> [--policy naive|api|arg]
  *            [--reconv stack|minsp] [--batch N] [--requests N]
  *   simr_cli timing <service> --config cpu|smt8|rpu|gpu [--requests N]
@@ -12,13 +13,16 @@
  *            [--threads N]
  *   simr_cli cluster [--qps N] [--rpu] [--nosplit]
  *
- * Exit codes: 0 success, 1 usage error, 2 unknown service.
+ * Exit codes: 0 success, 1 usage error, 2 unknown service,
+ * 3 analysis findings.
  */
 
 #include <cstdio>
 #include <cstring>
 #include <string>
 
+#include "analysis/analyzer.h"
+#include "analysis/crosscheck.h"
 #include "common/parallel.h"
 #include "common/table.h"
 #include "simr/cachestudy.h"
@@ -56,6 +60,7 @@ usage()
     std::fprintf(stderr,
         "usage:\n"
         "  simr_cli list\n"
+        "  simr_cli analyze <service>|--all [--json] [--crosscheck]\n"
         "  simr_cli efficiency <service> [--policy naive|api|arg]\n"
         "           [--reconv stack|minsp] [--batch N] [--requests N]\n"
         "  simr_cli timing <service> --config cpu|smt8|rpu|gpu\n"
@@ -82,6 +87,88 @@ cmdList()
     t.print();
     std::printf("plus the extension workload: gpgpu-saxpy\n");
     return 0;
+}
+
+/**
+ * Replay `svc` through a stack-IPDOM lockstep engine wrapped in the
+ * analyzer's CheckedStream and report whether every observed
+ * reconvergence landed on the statically predicted PC.
+ */
+bool
+runCrossCheck(const svc::Service &svc, const analysis::Report &report,
+              int requests)
+{
+    auto reqs = genRequests(svc, requests, 42);
+    batch::BatchingServer server(batch::Policy::PerApiArgSize,
+                                 trace::kMaxBatch);
+    auto batches = server.formBatches(reqs);
+    simt::LockstepEngine engine(
+        svc.program(), simt::ReconvPolicy::StackIpdom, trace::kMaxBatch,
+        makeBatchProvider(svc, std::move(batches)));
+    analysis::CheckedStream checked(engine, report);
+    trace::DynOp op;
+    while (checked.next(op)) {
+        // Drain; the decorator verifies as ops stream through.
+    }
+    const auto &cs = checked.stats();
+    std::printf("  crosscheck: %llu ops, %llu divergences, "
+                "%llu merges verified, %llu unobserved\n",
+                static_cast<unsigned long long>(cs.ops),
+                static_cast<unsigned long long>(cs.divergences),
+                static_cast<unsigned long long>(cs.mergesChecked),
+                static_cast<unsigned long long>(cs.unobserved));
+    for (const auto &f : cs.failures)
+        std::fprintf(stderr, "  crosscheck FAIL: %s\n", f.c_str());
+    return cs.ok();
+}
+
+int
+cmdAnalyze(const std::string &target, int argc, char **argv)
+{
+    bool json = has(argc, argv, "--json");
+    bool crosscheck = has(argc, argv, "--crosscheck");
+
+    std::vector<std::string> names;
+    if (target == "--all") {
+        names = svc::serviceNames();
+    } else {
+        names.push_back(target);
+    }
+
+    int total_errors = 0;
+    int total_warnings = 0;
+    bool cross_ok = true;
+    for (const auto &n : names) {
+        auto svc = svc::buildService(n);
+        if (!svc)
+            return 2;
+        auto report = analysis::analyze(svc->program());
+        if (json) {
+            std::printf("%s", report.json().c_str());
+        } else {
+            std::printf("%s: %d function(s), %d block(s), %zu "
+                        "instruction(s), %zu branch(es) verified, "
+                        "%d error(s), %d warning(s)\n",
+                        report.program.c_str(), report.numFunctions,
+                        report.numBlocks, report.numInsts,
+                        report.branches.size(), report.errors(),
+                        report.warnings());
+            for (const auto &d : report.diags)
+                std::printf("  %s\n", d.str().c_str());
+        }
+        total_errors += report.errors();
+        total_warnings += report.warnings();
+        if (crosscheck && report.ok())
+            cross_ok = runCrossCheck(*svc, report, 2400) && cross_ok;
+    }
+    if (!json) {
+        std::printf("analyzed %zu program(s): %d error(s), "
+                    "%d warning(s)%s\n", names.size(), total_errors,
+                    total_warnings,
+                    crosscheck ? (cross_ok ? ", crosscheck clean"
+                                           : ", CROSSCHECK FAILED") : "");
+    }
+    return total_errors > 0 || !cross_ok ? 3 : 0;
 }
 
 int
@@ -261,7 +348,9 @@ main(int argc, char **argv)
         return usage();
     std::string service = argv[2];
     int rc = 1;
-    if (cmd == "efficiency")
+    if (cmd == "analyze")
+        rc = cmdAnalyze(service, argc, argv);
+    else if (cmd == "efficiency")
         rc = cmdEfficiency(service, argc, argv);
     else if (cmd == "timing")
         rc = cmdTiming(service, argc, argv);

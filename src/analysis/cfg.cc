@@ -1,0 +1,94 @@
+#include "analysis/cfg.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace simr::analysis
+{
+
+Cfg::Cfg(const isa::Program &prog)
+    : prog_(prog)
+{
+    size_t n = static_cast<size_t>(prog.numBlocks());
+    succ_.resize(n);
+    pred_.resize(n);
+    funcOf_.assign(n, -1);
+    shared_.assign(n, 0);
+
+    for (int b = 0; b < prog.numBlocks(); ++b) {
+        const isa::BasicBlock &bb = prog.block(b);
+        auto &out = succ_[static_cast<size_t>(b)];
+        if (!bb.hasTerminator()) {
+            out.push_back(bb.fallthrough);
+        } else {
+            const isa::StaticInst &t = bb.insts.back();
+            switch (t.op) {
+              case isa::Op::Branch:
+                out.push_back(t.targetBlock);
+                if (bb.fallthrough != t.targetBlock)
+                    out.push_back(bb.fallthrough);
+                break;
+              case isa::Op::Jump:
+                out.push_back(t.targetBlock);
+                break;
+              case isa::Op::Call:
+                // Summary edge: the callee returns to the continuation.
+                out.push_back(bb.fallthrough);
+                break;
+              case isa::Op::Ret:
+                break;
+              default:
+                simr_panic("cfg: unhandled terminator '%s'",
+                           isa::opName(t.op));
+            }
+        }
+        for (int s : out)
+            pred_[static_cast<size_t>(s)].push_back(b);
+    }
+
+    // Function membership by entry reachability; a block claimed twice
+    // is flagged shared (execution would cross a function boundary
+    // without a matching Call, unbalancing the call depth).
+    funcs_.resize(static_cast<size_t>(prog.numFunctions()));
+    callees_.resize(static_cast<size_t>(prog.numFunctions()));
+    std::vector<char> seen;
+    for (int f = 0; f < prog.numFunctions(); ++f) {
+        FuncCfg &fc = funcs_[static_cast<size_t>(f)];
+        fc.id = f;
+        fc.entry = prog.func(f).entry;
+        seen.assign(n, 0);
+        std::vector<int> work{fc.entry};
+        seen[static_cast<size_t>(fc.entry)] = 1;
+        while (!work.empty()) {
+            int b = work.back();
+            work.pop_back();
+            fc.blocks.push_back(b);
+            int &owner = funcOf_[static_cast<size_t>(b)];
+            if (owner < 0)
+                owner = f;
+            else if (owner != f)
+                shared_[static_cast<size_t>(b)] = 1;
+            const isa::BasicBlock &bb = prog.block(b);
+            if (bb.hasTerminator()) {
+                const isa::StaticInst &t = bb.insts.back();
+                if (t.op == isa::Op::Ret)
+                    fc.exits.push_back(b);
+                else if (t.op == isa::Op::Call) {
+                    auto &cs = callees_[static_cast<size_t>(f)];
+                    if (std::find(cs.begin(), cs.end(), t.funcId) ==
+                        cs.end())
+                        cs.push_back(t.funcId);
+                }
+            }
+            for (int s : succ_[static_cast<size_t>(b)]) {
+                if (!seen[static_cast<size_t>(s)]) {
+                    seen[static_cast<size_t>(s)] = 1;
+                    work.push_back(s);
+                }
+            }
+        }
+    }
+}
+
+} // namespace simr::analysis

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Control-flow graph over a laid-out µISA Program.
+ *
+ * Nodes are the program's basic blocks; edges are:
+ *  - fall-through (no terminator, Branch not-taken, Call continuation),
+ *  - Branch taken and Jump targets,
+ *  - Call *summary* edges (call block -> continuation): the graph is
+ *    intraprocedural, callees are opaque, matching how the analyses
+ *    (dominators, post-dominators, IPDOM verification) are defined.
+ *
+ * Ret blocks have no successors; they are a function's exit nodes.
+ * Function membership is computed by reachability from each entry, which
+ * is also what detects blocks shared between functions (a fall-through
+ * or jump across a function boundary — a call-depth imbalance at run
+ * time) and unreachable blocks.
+ */
+
+#ifndef SIMR_ANALYSIS_CFG_H
+#define SIMR_ANALYSIS_CFG_H
+
+#include <vector>
+
+#include "isa/program.h"
+
+namespace simr::analysis
+{
+
+/** Per-function view of the CFG. */
+struct FuncCfg
+{
+    int id = -1;                ///< function id in the Program
+    int entry = -1;             ///< entry block id
+    std::vector<int> blocks;    ///< reachable blocks, DFS discovery order
+    std::vector<int> exits;     ///< blocks ending in Ret
+};
+
+/** Whole-program CFG. Build once per analysis; read-only afterwards. */
+class Cfg
+{
+  public:
+    /** Requires a structurally valid, laid-out program. */
+    explicit Cfg(const isa::Program &prog);
+
+    const isa::Program &program() const { return prog_; }
+
+    const std::vector<int> &succs(int block) const
+    {
+        return succ_[static_cast<size_t>(block)];
+    }
+
+    const std::vector<int> &preds(int block) const
+    {
+        return pred_[static_cast<size_t>(block)];
+    }
+
+    /**
+     * Function that first claimed `block` during entry reachability
+     * (-1: unreachable from every entry).
+     */
+    int funcOf(int block) const
+    {
+        return funcOf_[static_cast<size_t>(block)];
+    }
+
+    /** True when a second function's entry also reaches `block`. */
+    bool isShared(int block) const
+    {
+        return shared_[static_cast<size_t>(block)] != 0;
+    }
+
+    const FuncCfg &func(int id) const
+    {
+        return funcs_[static_cast<size_t>(id)];
+    }
+
+    int numFuncs() const { return static_cast<int>(funcs_.size()); }
+
+    /**
+     * Callees invoked (directly) from function `id`, deduplicated.
+     * The edge list of the call graph.
+     */
+    const std::vector<int> &callees(int id) const
+    {
+        return callees_[static_cast<size_t>(id)];
+    }
+
+  private:
+    const isa::Program &prog_;
+    std::vector<std::vector<int>> succ_;
+    std::vector<std::vector<int>> pred_;
+    std::vector<int> funcOf_;
+    std::vector<char> shared_;
+    std::vector<FuncCfg> funcs_;
+    std::vector<std::vector<int>> callees_;
+};
+
+} // namespace simr::analysis
+
+#endif // SIMR_ANALYSIS_CFG_H

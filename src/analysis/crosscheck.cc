@@ -1,0 +1,107 @@
+#include "analysis/crosscheck.h"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+namespace simr::analysis
+{
+
+namespace
+{
+
+constexpr size_t kMaxFailures = 16;
+
+std::string
+format(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    char buf[256];
+    std::vsnprintf(buf, sizeof(buf), fmt, ap);
+    va_end(ap);
+    return buf;
+}
+
+} // namespace
+
+CheckedStream::CheckedStream(trace::DynStream &inner, Report report)
+    : inner_(inner), report_(std::move(report))
+{}
+
+bool
+CheckedStream::next(trace::DynOp &op)
+{
+    if (!inner_.next(op))
+        return false;
+    observe(op);
+    return true;
+}
+
+void
+CheckedStream::observe(const trace::DynOp &op)
+{
+    ++stats_.ops;
+
+    // Lane slots are recycled across batches; nothing pending can
+    // complete once its batch is gone.
+    if (op.batchStart) {
+        stats_.unobserved += pending_.size();
+        pending_.clear();
+    }
+
+    // Reconvergence: the first op re-uniting lanes from both arms.
+    for (size_t i = 0; i < pending_.size();) {
+        Pending &p = pending_[i];
+        if ((op.mask & p.armA) != 0 && (op.mask & p.armB) != 0) {
+            ++stats_.mergesChecked;
+            if (op.pc != p.expect &&
+                stats_.failures.size() < kMaxFailures) {
+                stats_.failures.push_back(format(
+                    "branch @0x%" PRIx64 ": arms rejoined at pc 0x%"
+                    PRIx64 ", static IPDOM predicts 0x%" PRIx64,
+                    p.branchPc, op.pc, p.expect));
+            }
+            pending_[i] = pending_.back();
+            pending_.pop_back();
+            continue;
+        }
+        ++i;
+    }
+
+    // New divergence: both outcomes populated on one branch op.
+    if (op.isBranch() && op.takenMask != 0 && op.takenMask != op.mask) {
+        ++stats_.divergences;
+        const BranchInfo *bi = report_.branchAt(op.pc);
+        if (!bi) {
+            if (stats_.failures.size() < kMaxFailures) {
+                stats_.failures.push_back(format(
+                    "divergent branch @0x%" PRIx64 " not present in the "
+                    "static report", op.pc));
+            }
+        } else if (bi->computedIpdom >= 0) {
+            pending_.push_back({op.pc, op.takenMask & op.mask,
+                                op.mask & ~op.takenMask,
+                                bi->expectedMergePc});
+        }
+    }
+
+    // Completed requests can no longer reach a merge point; a pending
+    // divergence that loses a whole arm becomes unobservable.
+    if (op.endMask != 0) {
+        for (size_t i = 0; i < pending_.size();) {
+            Pending &p = pending_[i];
+            p.armA &= ~op.endMask;
+            p.armB &= ~op.endMask;
+            if (p.armA == 0 || p.armB == 0) {
+                ++stats_.unobserved;
+                pending_[i] = pending_.back();
+                pending_.pop_back();
+                continue;
+            }
+            ++i;
+        }
+    }
+}
+
+} // namespace simr::analysis

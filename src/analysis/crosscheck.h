@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Dynamic cross-check of the static IPDOM analysis.
+ *
+ * CheckedStream is a DynStream decorator: it forwards ops from a wrapped
+ * lockstep stream unchanged while watching the divergence/reconvergence
+ * behaviour. Every time a conditional branch splits the active mask it
+ * records the two arm masks and the merge PC the static analyzer derived
+ * for that branch (Report::branchAt); the first later op whose active
+ * mask again contains lanes from *both* arms is the observed
+ * reconvergence, and its PC must equal the predicted one.
+ *
+ * Valid only over a StackIpdom lockstep stream: under the MinSP-PC
+ * heuristic lanes from both arms can legitimately meet early, e.g.
+ * inside a function both arms call (same call depth and PC), so a
+ * mismatch there is not evidence of a wrong IPDOM.
+ */
+
+#ifndef SIMR_ANALYSIS_CROSSCHECK_H
+#define SIMR_ANALYSIS_CROSSCHECK_H
+
+#include <string>
+#include <vector>
+
+#include "analysis/diag.h"
+#include "trace/stream.h"
+
+namespace simr::analysis
+{
+
+/** Outcome of one cross-checked replay. */
+struct CrossCheckStats
+{
+    uint64_t ops = 0;            ///< dynamic ops observed
+    uint64_t divergences = 0;    ///< mask-splitting branches seen
+    uint64_t mergesChecked = 0;  ///< reconvergences verified
+    uint64_t unobserved = 0;     ///< divergences whose merge never ran
+                                 ///  (an arm's requests all completed)
+    std::vector<std::string> failures;  ///< first few mismatch reports
+
+    bool ok() const { return failures.empty(); }
+};
+
+/**
+ * Forwarding DynStream that verifies observed reconvergence points
+ * against a static analysis Report. The wrapped stream must outlive
+ * this object; the Report is copied.
+ */
+class CheckedStream : public trace::DynStream
+{
+  public:
+    CheckedStream(trace::DynStream &inner, Report report);
+
+    bool next(trace::DynOp &op) override;
+
+    uint64_t
+    requestsCompleted() const override
+    {
+        return inner_.requestsCompleted();
+    }
+
+    const CrossCheckStats &stats() const { return stats_; }
+
+  private:
+    /** One divergence awaiting its reconvergence. */
+    struct Pending
+    {
+        isa::Pc branchPc = 0;
+        trace::Mask armA = 0;      ///< taken lanes still running
+        trace::Mask armB = 0;      ///< not-taken lanes still running
+        isa::Pc expect = 0;        ///< statically predicted merge pc
+    };
+
+    void observe(const trace::DynOp &op);
+
+    trace::DynStream &inner_;
+    Report report_;
+    CrossCheckStats stats_;
+    std::vector<Pending> pending_;
+};
+
+} // namespace simr::analysis
+
+#endif // SIMR_ANALYSIS_CROSSCHECK_H

@@ -1,0 +1,163 @@
+#include "analysis/dom.h"
+
+#include "common/logging.h"
+
+namespace simr::analysis
+{
+
+DomTree
+DomTree::dominators(const Cfg &cfg, const FuncCfg &fc)
+{
+    DomTree t;
+    t.local_.assign(static_cast<size_t>(cfg.program().numBlocks()), -1);
+    for (int b : fc.blocks) {
+        t.local_[static_cast<size_t>(b)] = static_cast<int>(t.nodes_.size());
+        t.nodes_.push_back(b);
+    }
+    std::vector<std::vector<int>> preds(t.nodes_.size());
+    for (size_t i = 0; i < t.nodes_.size(); ++i) {
+        for (int p : cfg.preds(t.nodes_[i])) {
+            int lp = t.local_[static_cast<size_t>(p)];
+            if (lp >= 0)
+                preds[i].push_back(lp);
+        }
+    }
+    t.run(preds, t.local_[static_cast<size_t>(fc.entry)]);
+    return t;
+}
+
+DomTree
+DomTree::postDominators(const Cfg &cfg, const FuncCfg &fc)
+{
+    DomTree t;
+    t.local_.assign(static_cast<size_t>(cfg.program().numBlocks()), -1);
+    for (int b : fc.blocks) {
+        t.local_[static_cast<size_t>(b)] = static_cast<int>(t.nodes_.size());
+        t.nodes_.push_back(b);
+    }
+    // Virtual exit: the root of the reversed graph, fed by Ret blocks.
+    int vexit = static_cast<int>(t.nodes_.size());
+    t.nodes_.push_back(-1);
+
+    // Dataflow predecessors in the reversed graph are CFG successors.
+    std::vector<std::vector<int>> preds(t.nodes_.size());
+    for (size_t i = 0; i + 1 < t.nodes_.size(); ++i) {
+        for (int s : cfg.succs(t.nodes_[i])) {
+            int ls = t.local_[static_cast<size_t>(s)];
+            simr_assert(ls >= 0, "successor outside function block set");
+            preds[i].push_back(ls);
+        }
+    }
+    for (int e : fc.exits)
+        preds[static_cast<size_t>(t.local_[static_cast<size_t>(e)])]
+            .push_back(vexit);
+    t.run(preds, vexit);
+    return t;
+}
+
+void
+DomTree::run(const std::vector<std::vector<int>> &preds, int root)
+{
+    size_t n = preds.size();
+    root_ = root;
+    idom_.assign(n, -1);
+    idom_[static_cast<size_t>(root)] = root;
+
+    // Dataflow successors (inverted preds), for the RPO traversal.
+    std::vector<std::vector<int>> succs(n);
+    for (size_t i = 0; i < n; ++i)
+        for (int p : preds[i])
+            succs[static_cast<size_t>(p)].push_back(static_cast<int>(i));
+
+    // Iterative DFS postorder from the root.
+    std::vector<int> po(n, -1);
+    std::vector<int> order;           // postorder sequence of local ids
+    order.reserve(n);
+    {
+        std::vector<std::pair<int, size_t>> stack{{root, 0}};
+        std::vector<char> seen(n, 0);
+        seen[static_cast<size_t>(root)] = 1;
+        while (!stack.empty()) {
+            auto &[node, next] = stack.back();
+            if (next < succs[static_cast<size_t>(node)].size()) {
+                int s = succs[static_cast<size_t>(node)][next++];
+                if (!seen[static_cast<size_t>(s)]) {
+                    seen[static_cast<size_t>(s)] = 1;
+                    stack.push_back({s, 0});
+                }
+            } else {
+                po[static_cast<size_t>(node)] =
+                    static_cast<int>(order.size());
+                order.push_back(node);
+                stack.pop_back();
+            }
+        }
+    }
+
+    auto intersect = [&](int a, int b) {
+        while (a != b) {
+            while (po[static_cast<size_t>(a)] < po[static_cast<size_t>(b)])
+                a = idom_[static_cast<size_t>(a)];
+            while (po[static_cast<size_t>(b)] < po[static_cast<size_t>(a)])
+                b = idom_[static_cast<size_t>(b)];
+        }
+        return a;
+    };
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        // Reverse postorder, skipping the root and unreached nodes.
+        for (size_t oi = order.size(); oi-- > 0;) {
+            int i = order[oi];
+            if (i == root)
+                continue;
+            int new_idom = -1;
+            for (int p : preds[static_cast<size_t>(i)]) {
+                if (po[static_cast<size_t>(p)] < 0 ||
+                    idom_[static_cast<size_t>(p)] < 0)
+                    continue;  // unreached or not yet processed
+                new_idom = new_idom < 0 ? p : intersect(p, new_idom);
+            }
+            if (new_idom >= 0 && idom_[static_cast<size_t>(i)] != new_idom) {
+                idom_[static_cast<size_t>(i)] = new_idom;
+                changed = true;
+            }
+        }
+    }
+}
+
+bool
+DomTree::computed(int block) const
+{
+    int li = local_[static_cast<size_t>(block)];
+    return li >= 0 && idom_[static_cast<size_t>(li)] >= 0;
+}
+
+int
+DomTree::idom(int block) const
+{
+    int li = local_[static_cast<size_t>(block)];
+    if (li < 0 || li == root_ || idom_[static_cast<size_t>(li)] < 0)
+        return -1;
+    return nodes_[static_cast<size_t>(idom_[static_cast<size_t>(li)])];
+}
+
+bool
+DomTree::dominates(int a, int b) const
+{
+    int la = local_[static_cast<size_t>(a)];
+    int lb = local_[static_cast<size_t>(b)];
+    if (la < 0 || lb < 0 || idom_[static_cast<size_t>(lb)] < 0)
+        return false;
+    int cur = lb;
+    while (true) {
+        if (cur == la)
+            return true;
+        if (cur == root_)
+            return false;
+        cur = idom_[static_cast<size_t>(cur)];
+    }
+}
+
+} // namespace simr::analysis

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Dominator and post-dominator trees per function, via the
+ * Cooper–Harvey–Kennedy iterative algorithm ("A Simple, Fast Dominance
+ * Algorithm"): process nodes in reverse postorder, intersecting the
+ * already-computed immediate dominators of each node's predecessors by
+ * walking up postorder numbers, until a fixed point.
+ *
+ * The post-dominator tree runs the same algorithm on the reversed CFG,
+ * rooted at a virtual exit whose predecessors are the function's Ret
+ * blocks. The immediate post-dominator of a conditional branch block is
+ * exactly the reconvergence point the paper's ideal stack-based SIMT
+ * scheme needs, which is what lets the analyzer verify the builder's
+ * reconvBlock annotations independently.
+ */
+
+#ifndef SIMR_ANALYSIS_DOM_H
+#define SIMR_ANALYSIS_DOM_H
+
+#include <vector>
+
+#include "analysis/cfg.h"
+
+namespace simr::analysis
+{
+
+/** Dominator (or post-dominator) tree over one function's blocks. */
+class DomTree
+{
+  public:
+    /** Forward dominator tree rooted at the function entry. */
+    static DomTree dominators(const Cfg &cfg, const FuncCfg &fc);
+
+    /** Post-dominator tree rooted at a virtual exit past Ret blocks. */
+    static DomTree postDominators(const Cfg &cfg, const FuncCfg &fc);
+
+    /**
+     * Immediate (post-)dominator of `block`.
+     * @return the idom block id; -1 when the idom is the tree root
+     *         (function entry / virtual exit) or when `block` was not
+     *         reached by the analysis (see computed()).
+     */
+    int idom(int block) const;
+
+    /**
+     * True when `block` participates in the tree. In a post-dominator
+     * tree, blocks that cannot reach any Ret (infinite loops) are not
+     * computed.
+     */
+    bool computed(int block) const;
+
+    /** True when `a` (post-)dominates `b`. Reflexive. */
+    bool dominates(int a, int b) const;
+
+  private:
+    DomTree() = default;
+
+    /**
+     * Run CHK over a local graph. `preds[i]` are dataflow predecessors
+     * of local node i (CFG predecessors for dominators, CFG successors
+     * for post-dominators); `root` is the local root index.
+     */
+    void run(const std::vector<std::vector<int>> &preds, int root);
+
+    std::vector<int> local_;   ///< block id -> local index (-1: absent)
+    std::vector<int> nodes_;   ///< local index -> block id (root may be
+                               ///  a virtual node with block id -1)
+    std::vector<int> idom_;    ///< local index -> local idom (-1: none)
+    int root_ = -1;
+};
+
+} // namespace simr::analysis
+
+#endif // SIMR_ANALYSIS_DOM_H

@@ -1,0 +1,117 @@
+#include "isa/check.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace simr::isa
+{
+
+namespace
+{
+
+std::string
+format(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    char buf[256];
+    std::vsnprintf(buf, sizeof(buf), fmt, ap);
+    va_end(ap);
+    return buf;
+}
+
+bool
+isPow2Size(uint16_t size)
+{
+    return size >= 1 && size <= 64 && (size & (size - 1)) == 0;
+}
+
+} // namespace
+
+std::vector<StructuralIssue>
+checkStructure(const Program &prog)
+{
+    std::vector<StructuralIssue> issues;
+    auto bad_block = [&](int id) { return id < 0 || id >= prog.numBlocks(); };
+
+    if (prog.numFunctions() == 0)
+        issues.push_back({-1, -1, "program has no functions"});
+    for (int f = 0; f < prog.numFunctions(); ++f) {
+        if (bad_block(prog.func(f).entry)) {
+            issues.push_back({-1, -1,
+                format("function '%s' entry block %d out of range",
+                       prog.func(f).name.c_str(), prog.func(f).entry)});
+        }
+    }
+
+    for (int b = 0; b < prog.numBlocks(); ++b) {
+        const BasicBlock &bb = prog.block(b);
+        for (size_t i = 0; i < bb.insts.size(); ++i) {
+            const StaticInst &si = bb.insts[i];
+            int ii = static_cast<int>(i);
+            bool is_last = (i + 1 == bb.insts.size());
+            if (opInfo(si.op).isCtrl && !is_last) {
+                issues.push_back({b, ii,
+                    format("control op '%s' not at block end",
+                           opName(si.op))});
+            }
+            if (opInfo(si.op).isMem && !isPow2Size(si.accessSize)) {
+                issues.push_back({b, ii,
+                    format("'%s' access size %u not a power of two in "
+                           "[1,64]", opName(si.op), si.accessSize)});
+            }
+            switch (si.op) {
+              case Op::Branch:
+                if (bad_block(si.targetBlock)) {
+                    issues.push_back({b, ii,
+                        format("branch target %d out of range",
+                               si.targetBlock)});
+                }
+                if (bad_block(bb.fallthrough)) {
+                    issues.push_back({b, ii,
+                        format("branch fallthrough %d out of range",
+                               bb.fallthrough)});
+                }
+                if (bad_block(si.reconvBlock)) {
+                    issues.push_back({b, ii,
+                        format("branch reconvergence annotation %d "
+                               "missing or out of range",
+                               si.reconvBlock)});
+                }
+                break;
+              case Op::Jump:
+                if (bad_block(si.targetBlock)) {
+                    issues.push_back({b, ii,
+                        format("jump target %d out of range",
+                               si.targetBlock)});
+                }
+                break;
+              case Op::Call:
+                if (si.funcId < 0 || si.funcId >= prog.numFunctions()) {
+                    issues.push_back({b, ii,
+                        format("call to unresolved function id %d",
+                               si.funcId)});
+                }
+                if (bad_block(bb.fallthrough)) {
+                    issues.push_back({b, ii,
+                        format("call continuation %d out of range",
+                               bb.fallthrough)});
+                }
+                break;
+              default:
+                break;
+            }
+        }
+        // Blocks with neither terminator nor fallthrough would drop
+        // execution off the end of the code; treat as authoring errors
+        // even if unreachable.
+        if (!bb.hasTerminator() && bad_block(bb.fallthrough)) {
+            issues.push_back({b, -1,
+                format("no terminator and no fallthrough (fallthrough "
+                       "id %d)", bb.fallthrough)});
+        }
+    }
+    return issues;
+}
+
+} // namespace simr::isa

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Structural well-formedness checks over a Program.
+ *
+ * These are the invariants the executors rely on unconditionally:
+ * control ops terminate their blocks, every successor / callee / IPDOM
+ * id is in range, fall-through edges exist where execution needs them,
+ * and memory ops carry a sane access size. `Program::validate()` panics
+ * on the first violation at layout time; the static analyzer
+ * (src/analysis) surfaces the same findings as diagnostics, so both
+ * paths share one implementation here.
+ *
+ * Semantic properties (reachability, IPDOM correctness, lock pairing,
+ * segment discipline) are *not* checked here — they need a CFG and live
+ * in analysis::analyze().
+ */
+
+#ifndef SIMR_ISA_CHECK_H
+#define SIMR_ISA_CHECK_H
+
+#include <string>
+#include <vector>
+
+#include "isa/program.h"
+
+namespace simr::isa
+{
+
+/** One structural violation found in a Program. */
+struct StructuralIssue
+{
+    int block = -1;      ///< offending block id (-1: program-level)
+    int inst = -1;       ///< offending instruction index within the block
+    std::string text;    ///< human-readable description
+};
+
+/**
+ * Scan a program for structural violations. Safe to call on any
+ * Program whose blocks/functions are populated (laid out or not);
+ * never dereferences out-of-range ids.
+ */
+std::vector<StructuralIssue> checkStructure(const Program &prog);
+
+} // namespace simr::isa
+
+#endif // SIMR_ISA_CHECK_H

@@ -1,6 +1,7 @@
 #include "isa/program.h"
 
 #include "common/logging.h"
+#include "isa/check.h"
 
 namespace simr::isa
 {
@@ -33,53 +34,16 @@ Program::layout()
 void
 Program::validate() const
 {
-    auto check_block = [this](int id, const char *what) {
-        if (id < 0 || id >= numBlocks())
-            simr_panic("%s: bad block id %d in program '%s'",
-                       what, id, name_.c_str());
-    };
-
-    if (funcs_.empty())
-        simr_panic("program '%s' has no functions", name_.c_str());
-    for (const auto &f : funcs_)
-        check_block(f.entry, "function entry");
-
-    for (int b = 0; b < numBlocks(); ++b) {
-        const BasicBlock &bb = blocks_[static_cast<size_t>(b)];
-        for (size_t i = 0; i < bb.insts.size(); ++i) {
-            const StaticInst &si = bb.insts[i];
-            bool is_last = (i + 1 == bb.insts.size());
-            if (opInfo(si.op).isCtrl && !is_last) {
-                simr_panic("program '%s' block %d: control op '%s' not at "
-                           "block end", name_.c_str(), b, opName(si.op));
-            }
-            switch (si.op) {
-              case Op::Branch:
-                check_block(si.targetBlock, "branch target");
-                check_block(bb.fallthrough, "branch fallthrough");
-                check_block(si.reconvBlock, "branch reconvergence");
-                break;
-              case Op::Jump:
-                check_block(si.targetBlock, "jump target");
-                break;
-              case Op::Call:
-                if (si.funcId < 0 || si.funcId >= numFunctions()) {
-                    simr_panic("program '%s' block %d: bad callee %d",
-                               name_.c_str(), b, si.funcId);
-                }
-                check_block(bb.fallthrough, "call continuation");
-                break;
-              default:
-                break;
-            }
-        }
-        if (!bb.hasTerminator() && bb.fallthrough < 0) {
-            // Blocks with neither terminator nor fallthrough are only
-            // legal if unreachable; treat as an authoring error.
-            simr_panic("program '%s' block %d: no terminator and no "
-                       "fallthrough", name_.c_str(), b);
-        }
-    }
+    // Structural invariants live in isa/check.cc so the static analyzer
+    // (src/analysis) reports the identical findings as diagnostics;
+    // here a malformed program is rejected outright at layout time.
+    auto issues = checkStructure(*this);
+    if (issues.empty())
+        return;
+    const StructuralIssue &first = issues.front();
+    simr_panic("program '%s' block %d inst %d: %s (%zu structural "
+               "issue(s) total)", name_.c_str(), first.block, first.inst,
+               first.text.c_str(), issues.size());
 }
 
 } // namespace simr::isa

@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "analysis/analyzer.h"
 #include "common/logging.h"
 #include "common/parallel.h"
 
@@ -80,6 +81,7 @@ measureEfficiency(const svc::Service &svc, batch::Policy policy,
                   simt::ReconvPolicy reconv, int width, int n,
                   uint64_t seed)
 {
+    analysis::gateOrDie(svc.program());
     auto reqs = genRequests(svc, n, seed);
     batch::BatchingServer server(policy, width);
     auto batches = server.formBatches(reqs);
@@ -97,6 +99,7 @@ TimingRun
 runTiming(const svc::Service &svc, const core::CoreConfig &cfg,
           const TimingOptions &opt)
 {
+    analysis::gateOrDie(svc.program());
     auto reqs = genRequests(svc, opt.requests, opt.seed);
 
     TimingRun run;

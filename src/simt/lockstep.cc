@@ -215,6 +215,7 @@ LockstepEngine::stepStack(DynOp &op)
                 }
             }
             simr_assert(merged, "no ancestor waiting at reconvergence");
+            ++stats_.reconvMerges;
             continue;
         }
         break;
@@ -267,6 +268,7 @@ LockstepEngine::stepStack(DynOp &op)
             if (posKey(anc.depth, anc.block, anc.idx) == g.key) {
                 anc.mask |= g.mask;
                 stack_.back().mask &= ~g.mask;
+                ++stats_.reconvMerges;
                 return true;
             }
         }

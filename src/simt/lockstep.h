@@ -58,6 +58,8 @@ struct SimtStats
     uint64_t scalarOps = 0;      ///< sum of active lanes over batch ops
     uint64_t maskedSlots = 0;    ///< idle lane-slots
     uint64_t divergeEvents = 0;  ///< branches that split the active set
+    uint64_t reconvMerges = 0;   ///< paths folded back at a reconv point
+                                 ///  (StackIpdom only)
     uint64_t pathSwitches = 0;   ///< scheduler jumps between paths
     uint64_t spinEscapes = 0;    ///< spin-escape activations
     uint64_t batches = 0;

@@ -96,19 +96,30 @@ ThreadState::aluValue(const StaticInst &si) const
 {
     int64_t a = regs_[si.src1];
     int64_t b = regs_[si.src2];
+    // Arithmetic wraps mod 2^64 by µISA definition (services use Add/Mul
+    // for hash mixing); compute in unsigned so the wrap is well-defined.
+    auto ua = static_cast<uint64_t>(a);
+    auto ub = static_cast<uint64_t>(b);
+    auto uimm = static_cast<uint64_t>(si.imm);
     switch (si.alu) {
       case AluKind::MovImm: return si.imm;
       case AluKind::Mov:    return a;
-      case AluKind::Add:    return a + b;
-      case AluKind::AddImm: return a + si.imm;
-      case AluKind::Sub:    return a - b;
-      case AluKind::Mul:    return a * b;
-      case AluKind::Div:    return b == 0 ? 0 : a / b;
+      case AluKind::Add:    return static_cast<int64_t>(ua + ub);
+      case AluKind::AddImm: return static_cast<int64_t>(ua + uimm);
+      case AluKind::Sub:    return static_cast<int64_t>(ua - ub);
+      case AluKind::Mul:    return static_cast<int64_t>(ua * ub);
+      case AluKind::Div:
+        if (b == 0)
+            return 0;
+        if (b == -1)  // INT64_MIN / -1 traps; wrap like negation
+            return static_cast<int64_t>(0 - ua);
+        return a / b;
       case AluKind::And:    return a & b;
       case AluKind::AndImm: return a & si.imm;
       case AluKind::Or:     return a | b;
       case AluKind::Xor:    return a ^ b;
-      case AluKind::Shl:    return a << (si.imm & 63);
+      case AluKind::Shl:
+        return static_cast<int64_t>(ua << (si.imm & 63));
       case AluKind::Shr:
         return static_cast<int64_t>(static_cast<uint64_t>(a) >>
                                     (si.imm & 63));
