@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Observability overhead bench: the cost of the metrics registry and
+ * trace sinks on the lockstep hot path.
+ *
+ * For the most divergent services, runs the same efficiency experiment
+ * three ways:
+ *
+ *   off      no observer, no tracer (registry post-run fold only)
+ *   profile  divergence profiler attached (per-op attribution)
+ *   trace    profiler + span recorder + tracer (full timeline)
+ *
+ * and checks two invariants:
+ *
+ *   - determinism: engine statistics are bit-identical in all modes
+ *     (sinks observe, they never perturb), and the profiler's per-PC
+ *     sums equal the engine totals;
+ *   - overhead: the always-on sinks (metrics registry + divergence
+ *     profiler) cost < 2% wall-clock on the hot path. The full span
+ *     timeline -- one event per issue window -- is a per-request debug
+ *     artifact and is reported separately (it is O(mask changes), so
+ *     a highly divergent service pays ~10%).
+ *
+ * Emits BENCH_obs.json (stdout line + file). Exit code 1 only on a
+ * determinism failure; the overhead figures are reported, not gated
+ * (wall-clock on shared CI boxes is noisy).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "obs/divergence.h"
+#include "obs/spans.h"
+#include "obs/trace.h"
+
+using namespace simr;
+using namespace simr::bench;
+
+namespace
+{
+
+struct ModeResult
+{
+    double secs = 0;
+    simt::SimtStats stats;
+};
+
+bool
+sameStats(const simt::SimtStats &a, const simt::SimtStats &b)
+{
+    return a.batchOps == b.batchOps && a.scalarOps == b.scalarOps &&
+        a.maskedSlots == b.maskedSlots &&
+        a.divergeEvents == b.divergeEvents &&
+        a.reconvMerges == b.reconvMerges &&
+        a.pathSwitches == b.pathSwitches && a.batches == b.batches;
+}
+
+} // namespace
+
+int
+main()
+{
+    RunScale scale = RunScale::fromEnv();
+    int requests = static_cast<int>(scale.timingRequests) * 4;
+    const int reps = 3;
+    std::vector<std::string> services = {"search-leaf", "hdsearch-leaf",
+                                         "user"};
+
+    Table t("Observability overhead (" + std::to_string(requests) +
+            " requests x " + std::to_string(reps) + " reps)");
+    t.header({"service", "off (s)", "profile (s)", "trace (s)",
+              "sink ovh", "deterministic"});
+
+    bool all_ok = true;
+    double off_total = 0, prof_total = 0, trace_total = 0;
+    for (const auto &name : services) {
+        auto svc = svc::buildService(name);
+        if (!svc) {
+            std::fprintf(stderr, "unknown service %s\n", name.c_str());
+            return 1;
+        }
+
+        auto timeMode = [&](int mode) {
+            ModeResult r;
+            obs::Registry reg;
+            obs::Scope scope(&reg);
+            auto t0 = std::chrono::steady_clock::now();
+            for (int rep = 0; rep < reps; ++rep) {
+                obs::DivergenceProfiler prof(svc->program());
+                obs::Tracer tracer;
+                obs::SpanRecorder spans(&tracer, 1, 1);
+                obs::MultiObserver tee({&prof, &spans});
+                simt::LockstepObserver *o =
+                    mode == 0 ? nullptr :
+                    mode == 1 ? static_cast<simt::LockstepObserver *>(
+                        &prof) : &tee;
+                auto res = measureEfficiency(
+                    *svc, batch::Policy::PerApiArgSize,
+                    simt::ReconvPolicy::MinSpPc, 32, requests,
+                    scale.seed, o);
+                r.stats = res.stats;
+                if (mode != 0 &&
+                    (prof.totalMaskedSlots() != res.stats.maskedSlots ||
+                     prof.totalDivergeEvents() !=
+                         res.stats.divergeEvents ||
+                     prof.totalReconvMerges() !=
+                         res.stats.reconvMerges)) {
+                    std::fprintf(stderr,
+                                 "%s: profiler attribution diverged "
+                                 "from engine totals\n", name.c_str());
+                    all_ok = false;
+                }
+            }
+            auto t1 = std::chrono::steady_clock::now();
+            r.secs = std::chrono::duration<double>(t1 - t0).count();
+            return r;
+        };
+
+        ModeResult off = timeMode(0);
+        ModeResult prof = timeMode(1);
+        ModeResult traced = timeMode(2);
+
+        bool same = sameStats(off.stats, prof.stats) &&
+            sameStats(off.stats, traced.stats);
+        all_ok = all_ok && same;
+        off_total += off.secs;
+        prof_total += prof.secs;
+        trace_total += traced.secs;
+
+        double ovh = off.secs > 0 ?
+            100.0 * (prof.secs - off.secs) / off.secs : 0.0;
+        char ovh_buf[32];
+        std::snprintf(ovh_buf, sizeof(ovh_buf), "%+.1f%%", ovh);
+        t.row({name, Table::num(off.secs, 3),
+               Table::num(prof.secs, 3), Table::num(traced.secs, 3),
+               ovh_buf, same ? "yes" : "NO"});
+    }
+    t.print();
+
+    double overhead_pct = off_total > 0 ?
+        100.0 * (prof_total - off_total) / off_total : 0.0;
+    double trace_overhead_pct = off_total > 0 ?
+        100.0 * (trace_total - off_total) / off_total : 0.0;
+    std::printf("aggregate always-on sink overhead: %+.2f%% "
+                "(target < 2%%); full span timeline: %+.2f%%\n",
+                overhead_pct, trace_overhead_pct);
+
+    char buf[64], tbuf[64];
+    std::snprintf(buf, sizeof(buf), "%.2f", overhead_pct);
+    std::snprintf(tbuf, sizeof(tbuf), "%.2f", trace_overhead_pct);
+    std::string json = std::string("{\"bench\": \"obs\", ") +
+        "\"requests\": " + std::to_string(requests) +
+        ", \"reps\": " + std::to_string(reps) +
+        ", \"overhead_pct\": " + buf +
+        ", \"trace_overhead_pct\": " + tbuf +
+        ", \"deterministic\": " + (all_ok ? "true" : "false") + "}";
+    std::printf("BENCH_obs.json: %s\n", json.c_str());
+    if (FILE *f = std::fopen("BENCH_obs.json", "w")) {
+        std::fprintf(f, "%s\n", json.c_str());
+        std::fclose(f);
+    }
+    return all_ok ? 0 : 1;
+}

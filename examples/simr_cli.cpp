@@ -12,19 +12,32 @@
  *   simr_cli sweep [--config cpu|smt8|rpu|gpu] [--requests N]
  *            [--threads N]
  *   simr_cli cluster [--qps N] [--rpu] [--nosplit]
+ *   simr_cli stats [service] [--json] [--config cpu|smt8|rpu|gpu]
+ *            [--requests N] [--threads N]
+ *   simr_cli trace <service>|social_network [--out FILE]
+ *            [--config rpu|gpu] [--requests N] [--qps N]
+ *   simr_cli hotspots <service>|--all [--top N] [--requests N]
+ *            [--batch N]
+ *
+ * Commands that run experiments also accept --metrics FILE to dump the
+ * run's metric registry (text exposition) to a file.
  *
  * Exit codes: 0 success, 1 usage error, 2 unknown service,
- * 3 analysis findings.
+ * 3 analysis findings / profiler inconsistency, 4 I/O failure.
  */
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "analysis/analyzer.h"
 #include "analysis/crosscheck.h"
 #include "common/parallel.h"
 #include "common/table.h"
+#include "obs/divergence.h"
+#include "obs/spans.h"
+#include "obs/trace.h"
 #include "simr/cachestudy.h"
 #include "simr/runner.h"
 #include "simr/tuner.h"
@@ -68,8 +81,53 @@ usage()
         "  simr_cli tune <service>\n"
         "  simr_cli sweep [--config cpu|smt8|rpu|gpu] [--requests N]\n"
         "           [--threads N]\n"
-        "  simr_cli cluster [--qps N] [--rpu] [--nosplit]\n");
+        "  simr_cli cluster [--qps N] [--rpu] [--nosplit]\n"
+        "  simr_cli stats [service] [--json]\n"
+        "           [--config cpu|smt8|rpu|gpu] [--requests N]\n"
+        "           [--threads N]\n"
+        "  simr_cli trace <service>|social_network [--out FILE]\n"
+        "           [--config rpu|gpu] [--requests N] [--qps N]\n"
+        "  simr_cli hotspots <service>|--all [--top N] [--requests N]\n"
+        "           [--batch N]\n"
+        "(experiment commands also take --metrics FILE)\n");
     return 1;
+}
+
+/** Resolve a --config name; empty CoreConfig::name signals bad input. */
+core::CoreConfig
+configByName(const std::string &cfg_name)
+{
+    if (cfg_name == "cpu")
+        return core::makeCpuConfig();
+    if (cfg_name == "smt8")
+        return core::makeSmt8Config();
+    if (cfg_name == "rpu")
+        return core::makeRpuConfig();
+    if (cfg_name == "gpu")
+        return core::makeGpuConfig();
+    core::CoreConfig bad;
+    bad.name = "";
+    return bad;
+}
+
+/**
+ * Honour --metrics FILE: dump the scoped registry's text exposition.
+ * Returns false on I/O failure (reported to stderr).
+ */
+bool
+dumpMetricsIfAsked(int argc, char **argv)
+{
+    std::string path = flag(argc, argv, "--metrics", "");
+    if (path.empty())
+        return true;
+    std::ofstream f(path);
+    if (!f) {
+        std::fprintf(stderr, "cannot write metrics file '%s'\n",
+                     path.c_str());
+        return false;
+    }
+    f << obs::Scope::registry()->textPage();
+    return static_cast<bool>(f);
 }
 
 int
@@ -178,6 +236,9 @@ cmdEfficiency(const std::string &name, int argc, char **argv)
     if (!svc)
         return 2;
 
+    obs::Registry reg;
+    obs::Scope scope(&reg);
+
     std::string pol = flag(argc, argv, "--policy", "arg");
     batch::Policy policy = pol == "naive" ? batch::Policy::Naive :
         pol == "api" ? batch::Policy::PerApi :
@@ -200,7 +261,7 @@ cmdEfficiency(const std::string &name, int argc, char **argv)
     t.row({"divergence events", std::to_string(r.stats.divergeEvents)});
     t.row({"path switches", std::to_string(r.stats.pathSwitches)});
     t.print();
-    return 0;
+    return dumpMetricsIfAsked(argc, argv) ? 0 : 4;
 }
 
 int
@@ -210,17 +271,12 @@ cmdTiming(const std::string &name, int argc, char **argv)
     if (!svc)
         return 2;
 
-    std::string cfg_name = flag(argc, argv, "--config", "rpu");
-    core::CoreConfig cfg;
-    if (cfg_name == "cpu")
-        cfg = core::makeCpuConfig();
-    else if (cfg_name == "smt8")
-        cfg = core::makeSmt8Config();
-    else if (cfg_name == "rpu")
-        cfg = core::makeRpuConfig();
-    else if (cfg_name == "gpu")
-        cfg = core::makeGpuConfig();
-    else
+    obs::Registry reg;
+    obs::Scope scope(&reg);
+
+    core::CoreConfig cfg =
+        configByName(flag(argc, argv, "--config", "rpu"));
+    if (cfg.name.empty())
         return usage();
 
     TimingOptions opt;
@@ -247,7 +303,7 @@ cmdTiming(const std::string &name, int argc, char **argv)
     t.row({"frontend energy share",
            Table::pct(run.energy.frontendShare())});
     t.print();
-    return 0;
+    return dumpMetricsIfAsked(argc, argv) ? 0 : 4;
 }
 
 int
@@ -270,17 +326,12 @@ cmdTune(const std::string &name)
 int
 cmdSweep(int argc, char **argv)
 {
-    std::string cfg_name = flag(argc, argv, "--config", "rpu");
-    core::CoreConfig cfg;
-    if (cfg_name == "cpu")
-        cfg = core::makeCpuConfig();
-    else if (cfg_name == "smt8")
-        cfg = core::makeSmt8Config();
-    else if (cfg_name == "rpu")
-        cfg = core::makeRpuConfig();
-    else if (cfg_name == "gpu")
-        cfg = core::makeGpuConfig();
-    else
+    obs::Registry reg;
+    obs::Scope scope(&reg);
+
+    core::CoreConfig cfg =
+        configByName(flag(argc, argv, "--config", "rpu"));
+    if (cfg.name.empty())
         return usage();
 
     TimingOptions opt;
@@ -306,12 +357,15 @@ cmdSweep(int argc, char **argv)
                Table::num(run.reqPerJoule(), 0)});
     }
     t.print();
-    return 0;
+    return dumpMetricsIfAsked(argc, argv) ? 0 : 4;
 }
 
 int
 cmdCluster(int argc, char **argv)
 {
+    obs::Registry reg;
+    obs::Scope scope(&reg);
+
     sys::SysConfig cfg;
     cfg.qps = std::stod(flag(argc, argv, "--qps", "10000"));
     cfg.rpu = has(argc, argv, "--rpu");
@@ -326,8 +380,207 @@ cmdCluster(int argc, char **argv)
     t.row({"achieved QPS", Table::num(r.achievedQps, 0)});
     t.row({"mean latency (us)", Table::num(r.meanUs(), 0)});
     t.row({"p99 latency (us)", Table::num(r.p99Us(), 0)});
+    Table b("per-tier breakdown");
+    b.header({"tier", "mean wait (us)", "mean service (us)"});
+    for (const auto &tier : r.tiers)
+        b.row({tier.name, Table::num(tier.waitUs.mean(), 2),
+               Table::num(tier.serviceUs.mean(), 2)});
     t.print();
-    return 0;
+    b.print();
+    return dumpMetricsIfAsked(argc, argv) ? 0 : 4;
+}
+
+/**
+ * stats: run an experiment and print the full metric registry. With a
+ * service, one timing run; without, the whole service sweep through
+ * runCells (per-cell registries merged deterministically).
+ */
+int
+cmdStats(const std::string &service, int argc, char **argv)
+{
+    obs::Registry reg;
+    obs::Scope scope(&reg);
+
+    core::CoreConfig cfg =
+        configByName(flag(argc, argv, "--config", "rpu"));
+    if (cfg.name.empty())
+        return usage();
+    TimingOptions opt;
+    opt.requests = std::stoi(flag(argc, argv, "--requests", "256"));
+
+    if (service.empty()) {
+        int threads = std::stoi(flag(argc, argv, "--threads", "0"));
+        std::vector<Cell> cells;
+        for (const auto &n : svc::serviceNames())
+            cells.push_back({n, cfg, opt});
+        runCells(cells, threads);
+    } else {
+        auto svc = svc::buildService(service);
+        if (!svc)
+            return 2;
+        runTiming(*svc, cfg, opt);
+    }
+
+    if (has(argc, argv, "--json"))
+        std::printf("%s", reg.jsonPage().c_str());
+    else
+        std::printf("%s", reg.textPage().c_str());
+    return dumpMetricsIfAsked(argc, argv) ? 0 : 4;
+}
+
+/**
+ * Chip-level trace: run `svc` through one lockstep engine with a span
+ * recorder and divergence profiler attached, batching spans included
+ * (pid kChipPid). Prints the top hotspots afterwards.
+ */
+void
+traceChipLevel(const svc::Service &svc, const std::string &name,
+               obs::Tracer *tr, int width, int requests, int top_n)
+{
+    constexpr int kChipPid = 1;
+    tr->processName(0, "batching server");
+    tr->processName(kChipPid, "RPU core (lockstep)");
+    tr->threadName(0, 0, "batch formation");
+    tr->threadName(kChipPid, 1, "engine 0: " + name);
+
+    obs::DivergenceProfiler prof(svc.program());
+    obs::SpanRecorder spans(tr, kChipPid, 1);
+    obs::MultiObserver tee({&prof, &spans});
+
+    auto r = measureEfficiency(svc, batch::Policy::PerApiArgSize,
+                               simt::ReconvPolicy::MinSpPc, width,
+                               requests, 42, &tee);
+    std::printf("%s: %llu batches, SIMT efficiency %.1f%%\n",
+                name.c_str(),
+                static_cast<unsigned long long>(r.stats.batches),
+                100.0 * r.efficiency());
+    prof.report(top_n).print();
+}
+
+/**
+ * trace: emit a Chrome trace-event / Perfetto timeline.
+ *
+ * `social_network` is the end-to-end Fig. 22 view: the uqsim User
+ * scenario (per-tier queueing in simulated microseconds) plus a
+ * chip-level lockstep trace of the `user` logic-tier service. Any
+ * other service name gives the chip-level view alone.
+ */
+int
+cmdTrace(const std::string &target, int argc, char **argv)
+{
+    obs::Registry reg;
+    obs::Tracer tracer;
+    obs::Scope scope(&reg, &tracer);
+
+    // Fetch through the scope: compiled-out builds (SIMR_OBS_TRACE=0)
+    // return null here and cannot trace.
+    obs::Tracer *tr = obs::Scope::tracer();
+    if (!tr) {
+        std::fprintf(stderr,
+                     "tracing is compiled out (SIMR_OBS_TRACE=0); "
+                     "rebuild with -DSIMR_OBS_TRACE=ON\n");
+        return 1;
+    }
+
+    std::string out = flag(argc, argv, "--out", "run.json");
+    int requests = std::stoi(flag(argc, argv, "--requests", "256"));
+    int top_n = std::stoi(flag(argc, argv, "--top", "5"));
+
+    if (target == "social_network") {
+        // Chip level: the logic tier the scenario batches for.
+        auto svc = svc::buildService("user");
+        if (!svc)
+            return 2;
+        traceChipLevel(*svc, "user", tr, svc->traits().tunedBatch,
+                       requests, top_n);
+
+        // Cluster level: the uqsim User scenario on the RPU system.
+        sys::SysConfig cfg;
+        cfg.qps = std::stod(flag(argc, argv, "--qps", "10000"));
+        cfg.requests = requests * 8;
+        cfg.rpu = true;
+        auto r = sys::runUserScenario(cfg);
+        std::printf("cluster: %.0f offered qps, %.0f achieved, "
+                    "p99 %.0f us\n", r.offeredQps, r.achievedQps,
+                    r.p99Us());
+    } else {
+        auto svc = svc::buildService(target);
+        if (!svc)
+            return 2;
+        core::CoreConfig cfg =
+            configByName(flag(argc, argv, "--config", "rpu"));
+        if (cfg.name.empty())
+            return usage();
+        int width = std::min(cfg.batchWidth,
+                             svc->traits().tunedBatch);
+        traceChipLevel(*svc, target, tr, width, requests, top_n);
+    }
+
+    if (!tracer.writeFile(out)) {
+        std::fprintf(stderr, "cannot write trace file '%s'\n",
+                     out.c_str());
+        return 4;
+    }
+    std::printf("wrote %zu trace events to %s (%zu dropped)\n",
+                tracer.size(), out.c_str(), tracer.dropped());
+    std::printf("open in https://ui.perfetto.dev (or "
+                "chrome://tracing)\n");
+    return dumpMetricsIfAsked(argc, argv) ? 0 : 4;
+}
+
+/**
+ * hotspots: per-PC divergence attribution report, checked against the
+ * engine's aggregate SimtStats (the sums must match exactly).
+ */
+int
+cmdHotspots(const std::string &target, int argc, char **argv)
+{
+    obs::Registry reg;
+    obs::Scope scope(&reg);
+
+    int top_n = std::stoi(flag(argc, argv, "--top", "10"));
+    int requests = std::stoi(flag(argc, argv, "--requests", "2400"));
+    int width = std::stoi(flag(argc, argv, "--batch", "32"));
+
+    std::vector<std::string> names;
+    if (target == "--all")
+        names = svc::serviceNames();
+    else
+        names.push_back(target);
+
+    bool consistent = true;
+    for (const auto &n : names) {
+        auto svc = svc::buildService(n);
+        if (!svc)
+            return 2;
+        obs::DivergenceProfiler prof(svc->program());
+        auto r = measureEfficiency(*svc, batch::Policy::PerApiArgSize,
+                                   simt::ReconvPolicy::MinSpPc, width,
+                                   requests, 42, &prof);
+        prof.report(top_n).print();
+        bool ok = prof.totalMaskedSlots() == r.stats.maskedSlots &&
+            prof.totalDivergeEvents() == r.stats.divergeEvents &&
+            prof.totalReconvMerges() == r.stats.reconvMerges;
+        std::printf("%s: attribution %s (masked %llu/%llu, "
+                    "diverge %llu/%llu, merge %llu/%llu)\n",
+                    n.c_str(), ok ? "consistent" : "INCONSISTENT",
+                    static_cast<unsigned long long>(
+                        prof.totalMaskedSlots()),
+                    static_cast<unsigned long long>(
+                        r.stats.maskedSlots),
+                    static_cast<unsigned long long>(
+                        prof.totalDivergeEvents()),
+                    static_cast<unsigned long long>(
+                        r.stats.divergeEvents),
+                    static_cast<unsigned long long>(
+                        prof.totalReconvMerges()),
+                    static_cast<unsigned long long>(
+                        r.stats.reconvMerges));
+        consistent = consistent && ok;
+    }
+    if (!dumpMetricsIfAsked(argc, argv))
+        return 4;
+    return consistent ? 0 : 3;
 }
 
 } // namespace
@@ -344,6 +597,18 @@ main(int argc, char **argv)
         return cmdSweep(argc, argv);
     if (cmd == "cluster")
         return cmdCluster(argc, argv);
+    if (cmd == "stats") {
+        // The service argument is optional: "stats --json" sweeps all.
+        std::string service;
+        if (argc >= 3 && argv[2][0] != '-')
+            service = argv[2];
+        int rc = cmdStats(service, argc, argv);
+        if (rc == 2)
+            std::fprintf(stderr,
+                         "unknown service '%s' (simr_cli list)\n",
+                         service.c_str());
+        return rc;
+    }
     if (argc < 3)
         return usage();
     std::string service = argv[2];
@@ -356,6 +621,10 @@ main(int argc, char **argv)
         rc = cmdTiming(service, argc, argv);
     else if (cmd == "tune")
         rc = cmdTune(service);
+    else if (cmd == "trace")
+        rc = cmdTrace(service, argc, argv);
+    else if (cmd == "hotspots")
+        rc = cmdHotspots(service, argc, argv);
     else
         return usage();
     if (rc == 2)

@@ -5,6 +5,7 @@
 #include <map>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace simr::batch
 {
@@ -86,6 +87,32 @@ BatchingServer::formBatches(const std::vector<svc::Request> &arrivals) const
     for (auto &[key, buf] : open) {
         (void)key;
         drain(buf, true);
+    }
+
+    // Observability: batch-formation metrics into the scoped registry,
+    // plus one span per formed batch on the batching track (virtual
+    // time: one batch = one microsecond slot).
+    obs::Registry *reg = obs::Scope::registry();
+    obs::Counter *formed = reg->counter("batch.formed");
+    obs::Counter *partial = reg->counter("batch.partial");
+    obs::ShardedHist *fill = reg->hist("batch.fill");
+    formed->inc(out.size());
+    for (const auto &b : out) {
+        if (b.size() < batchSize_)
+            partial->inc();
+        fill->add(static_cast<double>(b.size()));
+    }
+    if (obs::Tracer *tr = obs::Scope::tracer()) {
+        for (size_t i = 0; i < out.size(); ++i) {
+            const Batch &b = out[i];
+            tr->complete(
+                "batch " + std::to_string(i), "batching",
+                static_cast<double>(i), 1.0, 0, 0,
+                {{"size", obs::jnum(static_cast<uint64_t>(b.size()))},
+                 {"api", obs::jnum(static_cast<uint64_t>(
+                      b.requests.empty() ? 0 : b.requests.front().api))},
+                 {"policy", obs::jstr(policyName(policy_))}});
+        }
     }
     return out;
 }

@@ -1,5 +1,7 @@
 #include "batching/splitter.h"
 
+#include "obs/metrics.h"
+
 namespace simr::batch
 {
 
@@ -12,6 +14,12 @@ splitBatch(const Batch &b, const BlockPredicate &blocks)
             r.blocked.requests.push_back(req);
         else
             r.fast.requests.push_back(req);
+    }
+    if (!r.blocked.requests.empty()) {
+        obs::Registry *reg = obs::Scope::registry();
+        reg->counter("batch.splits")->inc();
+        reg->counter("batch.split_orphans")
+            ->inc(static_cast<uint64_t>(r.blocked.size()));
     }
     return r;
 }
@@ -32,6 +40,8 @@ rebatchOrphans(const std::vector<Batch> &orphans, int batch_size)
     }
     if (cur.size() > 0)
         out.push_back(std::move(cur));
+    obs::Scope::registry()->counter("batch.rebatched")
+        ->inc(out.size());
     return out;
 }
 

@@ -10,6 +10,8 @@ Histogram::percentile(double p) const
 {
     if (samples_.empty())
         return 0.0;
+    if (samples_.size() == 1)
+        return samples_.front();
     {
         std::lock_guard<std::mutex> lock(sortMu_);
         if (!sorted_) {
@@ -17,7 +19,9 @@ Histogram::percentile(double p) const
             sorted_ = true;
         }
     }
-    if (p <= 0.0)
+    // NaN comparisons are false, so a NaN p falls through the <= 0
+    // guard and must be pinned explicitly (to the lower bound).
+    if (std::isnan(p) || p <= 0.0)
         return samples_.front();
     if (p >= 1.0)
         return samples_.back();
@@ -26,6 +30,17 @@ Histogram::percentile(double p) const
     size_t hi = std::min(lo + 1, samples_.size() - 1);
     double frac = pos - static_cast<double>(lo);
     return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+void
+Histogram::merge(const Histogram &o)
+{
+    if (o.samples_.empty())
+        return;
+    samples_.insert(samples_.end(), o.samples_.begin(),
+                    o.samples_.end());
+    sorted_ = false;
+    stat_.merge(o.stat_);
 }
 
 } // namespace simr

@@ -133,8 +133,22 @@ class Histogram
     double min() const { return stat_.min(); }
     double max() const { return stat_.max(); }
 
-    /** Exact p-quantile, p in [0, 1]. Returns 0 when empty. */
+    /**
+     * Exact p-quantile by linear interpolation over the sorted samples
+     * (the "R-7" estimator). Edge behaviour, locked by regression
+     * tests: empty histogram -> 0.0 for every p; a single sample is
+     * returned for every p; p <= 0 -> min, p >= 1 -> max (out-of-range
+     * and NaN p clamp to the nearest bound).
+     */
     double percentile(double p) const;
+
+    /**
+     * Exact merge of another histogram (samples appended, running
+     * statistics combined via RunningStat::merge). The registry's
+     * per-thread shards aggregate through this on snapshot, so sharding
+     * never changes any reported statistic.
+     */
+    void merge(const Histogram &o);
 
     void
     clear()

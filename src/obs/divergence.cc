@@ -1,0 +1,210 @@
+#include "obs/divergence.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "analysis/cfg.h"
+#include "common/logging.h"
+
+namespace simr::obs
+{
+
+namespace
+{
+
+std::string
+hexPc(isa::Pc pc)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "0x%llx",
+                  static_cast<unsigned long long>(pc));
+    return buf;
+}
+
+} // namespace
+
+DivergenceProfiler::DivergenceProfiler(const isa::Program &prog)
+    : prog_(prog)
+{
+    simr_assert(prog.laidOut(), "profiling an un-laid-out program");
+
+    // Size the attribution array to cover every instruction PC plus
+    // every (possibly empty) block PC.
+    size_t max_slot = 0;
+    for (int b = 0; b < prog.numBlocks(); ++b) {
+        size_t base = slotOf(prog.blockPc(b));
+        max_slot = std::max(max_slot,
+                            base + prog.block(b).insts.size());
+    }
+    cells_.assign(max_slot + 1, Cell{});
+    cellFunc_.assign(max_slot + 1, -1);
+
+    // Join the CFG: every instruction slot inherits the function that
+    // claimed its block; empty blocks (whose PC aliases the next real
+    // instruction) only fill slots nobody else owns.
+    analysis::Cfg cfg(prog);
+    for (int b = 0; b < prog.numBlocks(); ++b) {
+        const auto &blk = prog.block(b);
+        for (size_t i = 0; i < blk.insts.size(); ++i)
+            cellFunc_[slotOf(prog.pcOf(b, i))] = cfg.funcOf(b);
+    }
+    for (int b = 0; b < prog.numBlocks(); ++b) {
+        if (!prog.block(b).insts.empty())
+            continue;
+        size_t s = slotOf(prog.blockPc(b));
+        if (cellFunc_[s] < 0)
+            cellFunc_[s] = cfg.funcOf(b);
+    }
+}
+
+size_t
+DivergenceProfiler::slotOf(isa::Pc pc) const
+{
+    simr_assert(pc >= prog_.codeBase(), "PC below code base");
+    size_t slot = static_cast<size_t>(pc - prog_.codeBase()) /
+        isa::kInstBytes;
+    return cells_.empty() ? slot : std::min(slot, cells_.size() - 1);
+}
+
+void
+DivergenceProfiler::onOp(const trace::DynOp &op, int width, uint64_t)
+{
+    Cell &c = cells_[slotOf(op.pc)];
+    ++c.batchOps;
+    int active = op.activeLanes();
+    c.scalarOps += static_cast<uint64_t>(active);
+    c.maskedSlots += static_cast<uint64_t>(width - active);
+    width_ = width;
+}
+
+void
+DivergenceProfiler::onDiverge(isa::Pc pc, uint64_t)
+{
+    ++cells_[slotOf(pc)].divergeEvents;
+}
+
+void
+DivergenceProfiler::onMerge(isa::Pc pc, uint64_t)
+{
+    ++cells_[slotOf(pc)].reconvMerges;
+}
+
+std::vector<DivergenceProfiler::Row>
+DivergenceProfiler::top(int n) const
+{
+    std::vector<Row> rows;
+    for (size_t s = 0; s < cells_.size(); ++s) {
+        const Cell &c = cells_[s];
+        if (c.batchOps == 0 && c.divergeEvents == 0 &&
+            c.reconvMerges == 0)
+            continue;
+        Row r;
+        r.pc = prog_.codeBase() +
+            static_cast<isa::Pc>(s) * isa::kInstBytes;
+        int f = cellFunc_[s];
+        r.func = f >= 0 ? prog_.func(f).name : "?";
+        r.batchOps = c.batchOps;
+        r.scalarOps = c.scalarOps;
+        r.maskedSlots = c.maskedSlots;
+        r.divergeEvents = c.divergeEvents;
+        r.reconvMerges = c.reconvMerges;
+        rows.push_back(std::move(r));
+    }
+    std::sort(rows.begin(), rows.end(), [](const Row &a, const Row &b) {
+        if (a.maskedSlots != b.maskedSlots)
+            return a.maskedSlots > b.maskedSlots;
+        return a.pc < b.pc;
+    });
+    if (n >= 0 && rows.size() > static_cast<size_t>(n))
+        rows.resize(static_cast<size_t>(n));
+    return rows;
+}
+
+uint64_t
+DivergenceProfiler::totalMaskedSlots() const
+{
+    uint64_t t = 0;
+    for (const auto &c : cells_)
+        t += c.maskedSlots;
+    return t;
+}
+
+uint64_t
+DivergenceProfiler::totalDivergeEvents() const
+{
+    uint64_t t = 0;
+    for (const auto &c : cells_)
+        t += c.divergeEvents;
+    return t;
+}
+
+uint64_t
+DivergenceProfiler::totalReconvMerges() const
+{
+    uint64_t t = 0;
+    for (const auto &c : cells_)
+        t += c.reconvMerges;
+    return t;
+}
+
+Table
+DivergenceProfiler::report(int n) const
+{
+    uint64_t total = totalMaskedSlots();
+    Table t("divergence hotspots: " + prog_.name());
+    t.header({"pc", "function", "batch ops", "masked slots", "share",
+              "diverges", "merges", "occupancy"});
+    for (const auto &r : top(n)) {
+        double share = total ? static_cast<double>(r.maskedSlots) /
+            static_cast<double>(total) : 0.0;
+        t.row({hexPc(r.pc), r.func, std::to_string(r.batchOps),
+               std::to_string(r.maskedSlots), Table::pct(share),
+               std::to_string(r.divergeEvents),
+               std::to_string(r.reconvMerges),
+               Table::pct(r.occupancy(width_ ? width_ : 1))});
+    }
+    return t;
+}
+
+std::string
+DivergenceProfiler::json(int n) const
+{
+    std::string out = "{\"program\": \"" + prog_.name() +
+        "\", \"width\": " + std::to_string(width_) +
+        ", \"total_masked_slots\": " +
+        std::to_string(totalMaskedSlots()) +
+        ", \"total_diverge_events\": " +
+        std::to_string(totalDivergeEvents()) +
+        ", \"total_reconv_merges\": " +
+        std::to_string(totalReconvMerges()) + ", \"rows\": [";
+    auto rows = top(n);
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const Row &r = rows[i];
+        out += i ? ",\n" : "\n";
+        out += "  {\"pc\": \"" + hexPc(r.pc) + "\", \"func\": \"" +
+            r.func + "\", \"batch_ops\": " +
+            std::to_string(r.batchOps) + ", \"masked_slots\": " +
+            std::to_string(r.maskedSlots) + ", \"diverge_events\": " +
+            std::to_string(r.divergeEvents) + ", \"reconv_merges\": " +
+            std::to_string(r.reconvMerges) + "}";
+    }
+    out += rows.empty() ? "]}\n" : "\n]}\n";
+    return out;
+}
+
+void
+recordSimtStats(Registry *reg, const simt::SimtStats &s,
+                const std::string &prefix)
+{
+    reg->counter(prefix + ".batch_ops")->inc(s.batchOps);
+    reg->counter(prefix + ".scalar_ops")->inc(s.scalarOps);
+    reg->counter(prefix + ".masked_slots")->inc(s.maskedSlots);
+    reg->counter(prefix + ".diverge_events")->inc(s.divergeEvents);
+    reg->counter(prefix + ".reconv_merges")->inc(s.reconvMerges);
+    reg->counter(prefix + ".path_switches")->inc(s.pathSwitches);
+    reg->counter(prefix + ".spin_escapes")->inc(s.spinEscapes);
+    reg->counter(prefix + ".batches")->inc(s.batches);
+    reg->gauge(prefix + ".efficiency")->set(s.efficiency());
+}
+
+} // namespace simr::obs

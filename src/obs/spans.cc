@@ -1,0 +1,111 @@
+#include "obs/spans.h"
+
+#include <cstdio>
+
+namespace simr::obs
+{
+
+namespace
+{
+
+std::string
+hexVal(uint64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "\"0x%llx\"",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+} // namespace
+
+SpanRecorder::SpanRecorder(Tracer *tracer, int pid, int tid,
+                           double us_per_op)
+    : tracer_(tracer), pid_(pid), tid_(tid), usPerOp_(us_per_op)
+{}
+
+void
+SpanRecorder::onBatchStart(uint64_t batch, int size, uint64_t opIdx)
+{
+    if (!tracer_)
+        return;
+    tracer_->begin("batch " + std::to_string(batch), "lockstep",
+                   ts(opIdx), pid_, tid_,
+                   {{"size", jnum(static_cast<uint64_t>(size))}});
+    windowOpen_ = false;
+}
+
+void
+SpanRecorder::closeWindow(uint64_t opIdx)
+{
+    if (!windowOpen_)
+        return;
+    double start = ts(windowStartOp_);
+    tracer_->complete(
+        "window", "lockstep", start, ts(opIdx) - start, pid_, tid_,
+        {{"active", jnum(static_cast<uint64_t>(
+              trace::popcount(windowMask_)))},
+         {"width", jnum(static_cast<uint64_t>(windowWidth_))},
+         {"mask", hexVal(windowMask_)}});
+    windowOpen_ = false;
+}
+
+void
+SpanRecorder::onOp(const trace::DynOp &op, int width, uint64_t opIdx)
+{
+    if (!tracer_)
+        return;
+    // opIdx counts completed ops, so op number opIdx spans virtual time
+    // [opIdx - 1, opIdx).
+    if (windowOpen_ && op.mask != windowMask_)
+        closeWindow(opIdx - 1);
+    if (!windowOpen_) {
+        windowOpen_ = true;
+        windowMask_ = op.mask;
+        windowWidth_ = width;
+        windowStartOp_ = opIdx - 1;
+    }
+    lastOp_ = opIdx;
+}
+
+void
+SpanRecorder::onDiverge(isa::Pc pc, uint64_t opIdx)
+{
+    if (!tracer_)
+        return;
+    closeWindow(opIdx);
+    tracer_->instant("diverge", "divergence", ts(opIdx), pid_, tid_,
+                     {{"pc", hexVal(pc)}});
+}
+
+void
+SpanRecorder::onMerge(isa::Pc pc, uint64_t opIdx)
+{
+    if (!tracer_)
+        return;
+    closeWindow(opIdx);
+    tracer_->instant("reconverge", "divergence", ts(opIdx), pid_, tid_,
+                     {{"pc", hexVal(pc)}});
+}
+
+void
+SpanRecorder::onSpinEscape(int lane, isa::Pc pc, uint64_t opIdx)
+{
+    if (!tracer_)
+        return;
+    tracer_->instant("spin-escape", "lockstep", ts(opIdx), pid_, tid_,
+                     {{"lane", jnum(static_cast<uint64_t>(lane))},
+                      {"pc", hexVal(pc)}});
+}
+
+void
+SpanRecorder::onBatchEnd(uint64_t batch, uint64_t opIdx)
+{
+    if (!tracer_)
+        return;
+    closeWindow(opIdx);
+    (void)batch;
+    tracer_->end(ts(opIdx), pid_, tid_);
+}
+
+} // namespace simr::obs

@@ -5,6 +5,30 @@
 #include "analysis/analyzer.h"
 #include "common/logging.h"
 #include "common/parallel.h"
+#include "obs/divergence.h"
+
+namespace simr
+{
+namespace
+{
+
+/** Fold one run's core + SIMT stats into the scoped registry. */
+void
+recordRunMetrics(const TimingRun &run)
+{
+    obs::Registry *reg = obs::Scope::registry();
+    reg->counter("core.cycles")->inc(run.core.cycles);
+    reg->counter("core.batch_ops")->inc(run.core.batchOps);
+    reg->counter("core.scalar_insts")->inc(run.core.scalarInsts);
+    reg->counter("core.requests")->inc(run.core.requests);
+    reg->gauge("core.ipc")->set(run.core.ipc());
+    reg->hist("core.req_latency_cycles")->record(run.core.reqLatency);
+    if (run.simt.batches > 0)
+        obs::recordSimtStats(reg, run.simt);
+}
+
+} // namespace
+} // namespace simr
 
 namespace simr
 {
@@ -79,7 +103,7 @@ makeScalarProvider(const svc::Service &svc, std::vector<svc::Request> reqs,
 EfficiencyResult
 measureEfficiency(const svc::Service &svc, batch::Policy policy,
                   simt::ReconvPolicy reconv, int width, int n,
-                  uint64_t seed)
+                  uint64_t seed, simt::LockstepObserver *observer)
 {
     analysis::gateOrDie(svc.program());
     auto reqs = genRequests(svc, n, seed);
@@ -88,10 +112,12 @@ measureEfficiency(const svc::Service &svc, batch::Policy policy,
 
     simt::LockstepEngine engine(svc.program(), reconv, width,
                                 makeBatchProvider(svc, std::move(batches)));
+    engine.setObserver(observer);
     trace::DynOp op;
     while (engine.next(op)) {
         // Drain: stats accumulate inside the engine.
     }
+    obs::recordSimtStats(obs::Scope::registry(), engine.stats());
     return EfficiencyResult{engine.stats()};
 }
 
@@ -130,9 +156,13 @@ runTiming(const svc::Service &svc, const core::CoreConfig &cfg,
                                   std::move(per_engine[
                                       static_cast<size_t>(e)]),
                                   opt.alloc)));
+            if (opt.observerFor)
+                engines.back()->setObserver(opt.observerFor(e));
             streams.push_back(engines.back().get());
         }
         run.core = core.run(streams);
+        for (const auto &eng : engines)
+            run.simt += eng->stats();
     } else if (cfg.smtThreads > 1) {
         // SMT: deal requests round-robin across hardware threads.
         std::vector<std::vector<svc::Request>> per_thread(
@@ -161,6 +191,7 @@ runTiming(const svc::Service &svc, const core::CoreConfig &cfg,
     run.energy = energy::computeEnergy(
         run.core, energy::EnergyParams::forConfig(cfg),
         cfg.chipStaticWatts / cfg.chipCores);
+    recordRunMetrics(run);
     return run;
 }
 
@@ -186,8 +217,23 @@ cellSeed(uint64_t master, const std::string &service,
 std::vector<TimingRun>
 runCells(const std::vector<Cell> &cells, int threads)
 {
+    // Capture the caller's registry before fanning out: the worker
+    // threads must not inherit whatever ambient scope they carry.
+    obs::Registry *parent = obs::Scope::registry();
+
+    // Each cell writes into its own private registry (a cell runs
+    // wholly on one worker, so its sharded histograms see exactly one
+    // thread and snapshot exactly). Tracing is disabled inside cells:
+    // interleaved spans from concurrent cells would not be
+    // deterministic.
+    std::vector<std::unique_ptr<obs::Registry>> cellRegs;
+    cellRegs.reserve(cells.size());
+    for (size_t i = 0; i < cells.size(); ++i)
+        cellRegs.push_back(std::make_unique<obs::Registry>());
+
     std::vector<TimingRun> out(cells.size());
     parallelFor(cells.size(), [&](size_t i) {
+        obs::Scope scope(cellRegs[i].get(), nullptr);
         const Cell &cell = cells[i];
         auto svc = svc::buildService(cell.service);
         simr_assert(svc != nullptr, "unknown service in cell sweep");
@@ -195,6 +241,11 @@ runCells(const std::vector<Cell> &cells, int threads)
         opt.seed = cellSeed(cell.opt.seed, cell.service, cell.cfg);
         out[i] = runTiming(*svc, cell.cfg, opt);
     }, threads);
+
+    // Merge in input order: the parent exposition is bit-identical at
+    // any thread count.
+    for (const auto &reg : cellRegs)
+        parent->merge(*reg);
     return out;
 }
 

@@ -9,6 +9,7 @@
 #ifndef SIMR_SIMR_RUNNER_H
 #define SIMR_SIMR_RUNNER_H
 
+#include <functional>
 #include <vector>
 
 #include "batching/policy.h"
@@ -53,18 +54,23 @@ struct EfficiencyResult
 
 /**
  * Measure SIMT efficiency of a service under a batching policy and
- * reconvergence scheme, over `n` requests batched `width` wide.
+ * reconvergence scheme, over `n` requests batched `width` wide. An
+ * optional observer (obs::DivergenceProfiler, obs::SpanRecorder, ...)
+ * sees every lockstep event of the run.
  */
 EfficiencyResult measureEfficiency(const svc::Service &svc,
                                    batch::Policy policy,
                                    simt::ReconvPolicy reconv, int width,
-                                   int n, uint64_t seed);
+                                   int n, uint64_t seed,
+                                   simt::LockstepObserver *observer = nullptr);
 
 /** One chip-level timing + energy run. */
 struct TimingRun
 {
     core::CoreResult core;
     energy::EnergyBreakdown energy;
+    /** Lockstep SIMT stats summed across engines (batch configs only). */
+    simt::SimtStats simt;
 
     double reqPerJoule() const
     {
@@ -83,6 +89,13 @@ struct TimingOptions
     /** Override the batch size; 0 = the service's tuned batch size. */
     int batchOverride = 0;
     bool useTunedBatch = true;
+    /**
+     * Optional per-engine lockstep observer factory (batch configs
+     * only). Called once per engine index before execution; returned
+     * pointers must outlive the runTiming call. nullptr results are
+     * fine (that engine is simply unobserved).
+     */
+    std::function<simt::LockstepObserver *(int engine)> observerFor;
 };
 
 /**
@@ -120,6 +133,12 @@ uint64_t cellSeed(uint64_t master, const std::string &service,
  * (0 = defaultThreads(), 1 = serial on the calling thread). Each cell
  * builds its own service instance and runs runTiming with its derived
  * cellSeed; results return in input order.
+ *
+ * Observability: each cell runs under its own private obs::Registry
+ * (tracing disabled inside cells), and the per-cell registries are
+ * merged into the caller's scoped registry in input order after the
+ * fan-out -- so the merged exposition is bit-identical at any thread
+ * count.
  */
 std::vector<TimingRun> runCells(const std::vector<Cell> &cells,
                                 int threads = 0);

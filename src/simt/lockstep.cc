@@ -25,6 +25,32 @@ posKey(int depth, int block, size_t idx)
 
 } // namespace
 
+LockstepObserver::~LockstepObserver() = default;
+
+void
+LockstepObserver::onBatchStart(uint64_t, int, uint64_t)
+{}
+
+void
+LockstepObserver::onOp(const trace::DynOp &, int, uint64_t)
+{}
+
+void
+LockstepObserver::onDiverge(isa::Pc, uint64_t)
+{}
+
+void
+LockstepObserver::onMerge(isa::Pc, uint64_t)
+{}
+
+void
+LockstepObserver::onSpinEscape(int, isa::Pc, uint64_t)
+{}
+
+void
+LockstepObserver::onBatchEnd(uint64_t, uint64_t)
+{}
+
 LockstepEngine::LockstepEngine(const isa::Program &prog,
                                ReconvPolicy policy, int width,
                                BatchProvider provider,
@@ -67,6 +93,9 @@ LockstepEngine::launchNext()
 
     ++stats_.batches;
     batchActive_ = true;
+    if (obs_)
+        obs_->onBatchStart(stats_.batches - 1, batchSize_,
+                           stats_.batchOps);
 
     stack_.clear();
     // All live lanes start at main's entry.
@@ -157,6 +186,9 @@ LockstepEngine::execGroup(Mask mask, DynOp &op)
 
     if (op.pathSwitch)
         ++stats_.pathSwitches;
+
+    if (obs_)
+        obs_->onOp(op, width_, stats_.batchOps);
 }
 
 bool
@@ -172,8 +204,11 @@ LockstepEngine::next(DynOp &op)
         stepStack(op) : stepMinSp(op);
     op.batchStart = fresh;
     simr_assert(produced, "active batch produced no op");
-    if (liveMask_ == 0)
+    if (liveMask_ == 0) {
         batchActive_ = false;
+        if (obs_)
+            obs_->onBatchEnd(stats_.batches - 1, stats_.batchOps);
+    }
     return true;
 }
 
@@ -204,6 +239,7 @@ LockstepEngine::stepStack(DynOp &op)
             // Entry reached its merge point: fold into the ancestor
             // waiting there.
             Mask m = e.mask;
+            int mblock = e.block;
             uint64_t key = posKey(e.depth, e.block, e.idx);
             stack_.pop_back();
             bool merged = false;
@@ -216,6 +252,8 @@ LockstepEngine::stepStack(DynOp &op)
             }
             simr_assert(merged, "no ancestor waiting at reconvergence");
             ++stats_.reconvMerges;
+            if (obs_)
+                obs_->onMerge(prog_.blockPc(mblock), stats_.batchOps);
             continue;
         }
         break;
@@ -269,6 +307,9 @@ LockstepEngine::stepStack(DynOp &op)
                 anc.mask |= g.mask;
                 stack_.back().mask &= ~g.mask;
                 ++stats_.reconvMerges;
+                if (obs_)
+                    obs_->onMerge(prog_.blockPc(anc.block),
+                                  stats_.batchOps);
                 return true;
             }
         }
@@ -301,6 +342,8 @@ LockstepEngine::stepStack(DynOp &op)
     simr_assert(op.si->op == isa::Op::Branch && op.si->reconvBlock >= 0,
                 "multi-way split on a non-branch");
     ++stats_.divergeEvents;
+    if (obs_)
+        obs_->onDiverge(op.pc, stats_.batchOps);
     int rb = op.si->reconvBlock;
     uint64_t rkey = posKey(top.depth, rb, 0);
 
@@ -379,8 +422,11 @@ LockstepEngine::stepMinSp(DynOp &op)
 
     if (op.isBranch()) {
         Mask t = op.takenMask;
-        if (t != 0 && t != op.mask)
+        if (t != 0 && t != op.mask) {
             ++stats_.divergeEvents;
+            if (obs_)
+                obs_->onDiverge(op.pc, stats_.batchOps);
+        }
     }
 
     // Spin-escape bookkeeping (Section III-A): a lane stuck at one PC
@@ -407,6 +453,11 @@ LockstepEngine::stepMinSp(DynOp &op)
                 boostLeft_ = spin_.boostSteps;
                 stagnation_[static_cast<size_t>(lane)] = 0;
                 ++stats_.spinEscapes;
+                if (obs_)
+                    obs_->onSpinEscape(
+                        lane,
+                        threads_[static_cast<size_t>(lane)]->curPc(),
+                        stats_.batchOps);
             }
         }
     }

@@ -72,6 +72,59 @@ struct SimtStats
         return batchOps ? static_cast<double>(scalarOps) /
             (static_cast<double>(batchOps) * width) : 1.0;
     }
+
+    /**
+     * Accumulate another engine's statistics (multi-engine runs, sweep
+     * aggregation). Widths must match for efficiency() to stay
+     * meaningful; an empty (default) accumulator adopts the width of
+     * the first operand merged into it.
+     */
+    SimtStats &
+    operator+=(const SimtStats &o)
+    {
+        batchOps += o.batchOps;
+        scalarOps += o.scalarOps;
+        maskedSlots += o.maskedSlots;
+        divergeEvents += o.divergeEvents;
+        reconvMerges += o.reconvMerges;
+        pathSwitches += o.pathSwitches;
+        spinEscapes += o.spinEscapes;
+        batches += o.batches;
+        if (batches == o.batches)
+            width = o.width;
+        return *this;
+    }
+};
+
+/**
+ * Hook interface for observability sinks (src/obs): per-batch spans,
+ * per-PC divergence attribution. All callbacks default to no-ops; the
+ * engine pays one predictable branch per event when no observer is
+ * attached. `opIdx` is the engine's running batch-op count, the
+ * virtual clock of chip-level trace timelines.
+ */
+class LockstepObserver
+{
+  public:
+    virtual ~LockstepObserver();
+
+    /** A new batch of `size` requests entered lockstep execution. */
+    virtual void onBatchStart(uint64_t batch, int size, uint64_t opIdx);
+
+    /** One batch op was issued (after stats accounting). */
+    virtual void onOp(const trace::DynOp &op, int width, uint64_t opIdx);
+
+    /** A branch at `pc` split the active set. */
+    virtual void onDiverge(isa::Pc pc, uint64_t opIdx);
+
+    /** Paths folded back together at reconvergence point `pc`. */
+    virtual void onMerge(isa::Pc pc, uint64_t opIdx);
+
+    /** Spin-escape boosted `lane` parked at `pc`. */
+    virtual void onSpinEscape(int lane, isa::Pc pc, uint64_t opIdx);
+
+    /** The current batch retired (all lanes done). */
+    virtual void onBatchEnd(uint64_t batch, uint64_t opIdx);
 };
 
 /**
@@ -101,6 +154,13 @@ class LockstepEngine : public trace::DynStream
     /** True between batches (the last produced op finished a batch). */
     bool atBatchBoundary() const { return !batchActive_; }
 
+    /**
+     * Attach an observability sink (nullptr detaches). The observer
+     * must outlive the engine; it never affects execution, only
+     * reports it.
+     */
+    void setObserver(LockstepObserver *obs) { obs_ = obs; }
+
   private:
     struct StackEntry
     {
@@ -123,6 +183,8 @@ class LockstepEngine : public trace::DynStream
     int width_;
     BatchProvider provider_;
     SpinEscapeConfig spin_;
+
+    LockstepObserver *obs_ = nullptr;
 
     std::vector<std::unique_ptr<trace::ThreadState>> threads_;
     std::vector<trace::ThreadInit> inits_;  ///< reused across launches

@@ -5,12 +5,24 @@
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "obs/trace.h"
 
 namespace simr::sys
 {
 
 namespace
 {
+
+/** Trace track layout for the system timeline. */
+constexpr int kSysPid = 2;
+enum SysTid : int {
+    kTidBatchForm = 1,
+    kTidWeb,
+    kTidUser,
+    kTidMcRouter,
+    kTidMemc,
+    kTidStorage,
+};
 
 /**
  * A rate-and-latency service station with FIFO fluid queueing: a group
@@ -20,18 +32,35 @@ namespace
 class Station
 {
   public:
-    Station(double rate_per_us, double latency_us)
-        : rate_(rate_per_us), latency_(latency_us)
+    Station(const char *name, int tid, double rate_per_us,
+            double latency_us)
+        : name_(name), tid_(tid), rate_(rate_per_us),
+          latency_(latency_us)
     {
         simr_assert(rate_ > 0, "station rate must be positive");
     }
 
-    /** Serve n requests arriving at time t; returns completion time. */
+    /**
+     * Serve n requests arriving at time t; returns completion time.
+     * Records queueing wait and occupancy into `stat` and, when a
+     * tracer is in scope, emits the service-occupancy span (occupancy
+     * spans never overlap, so each tier renders as one clean track).
+     */
     double
-    process(double t, int n)
+    process(double t, int n, TierStat &stat, obs::Tracer *tr)
     {
         double start = std::max(t, nextFree_);
-        nextFree_ = start + static_cast<double>(n) / rate_;
+        double occupancy = static_cast<double>(n) / rate_;
+        nextFree_ = start + occupancy;
+        stat.waitUs.add(start - t);
+        stat.serviceUs.add(occupancy);
+        if (tr) {
+            tr->complete(
+                name_, "sys", start, occupancy, kSysPid, tid_,
+                {{"n", obs::jnum(static_cast<uint64_t>(n))},
+                 {"wait_us", obs::jnum(start - t)},
+                 {"latency_us", obs::jnum(latency_)}});
+        }
         return start + latency_;
     }
 
@@ -43,6 +72,8 @@ class Station
     }
 
   private:
+    const char *name_;
+    int tid_;
     double rate_;
     double latency_;
     double nextFree_ = 0;
@@ -62,6 +93,17 @@ runUserScenario(const SysConfig &cfg)
     Rng rng(cfg.seed);
     SysResult res;
     res.offeredQps = cfg.qps;
+
+    obs::Tracer *tr = obs::Scope::tracer();
+    if (tr) {
+        tr->processName(kSysPid, "cluster (uqsim User scenario)");
+        tr->threadName(kSysPid, kTidBatchForm, "batch formation");
+        tr->threadName(kSysPid, kTidWeb, "web tier");
+        tr->threadName(kSysPid, kTidUser, "user tier");
+        tr->threadName(kSysPid, kTidMcRouter, "mcrouter tier");
+        tr->threadName(kSysPid, kTidMemc, "memcached tier");
+        tr->threadName(kSysPid, kTidStorage, "storage tier");
+    }
 
     // Open-loop Poisson arrivals.
     std::vector<double> arrivals;
@@ -100,23 +142,54 @@ runUserScenario(const SysConfig &cfg)
     // latency per tier.
     double tscale = cfg.rpu ? cfg.rpuThroughputScale : 1.0;
     double lscale = cfg.rpu ? cfg.rpuLatencyScale : 1.0;
-    Station web(cfg.webCores / cfg.webSvcUs * tscale,
+    Station web("web", kTidWeb, cfg.webCores / cfg.webSvcUs * tscale,
                 cfg.webSvcUs * lscale);
-    Station user(cfg.userCores / cfg.userSvcUs * tscale,
+    Station user("user", kTidUser,
+                 cfg.userCores / cfg.userSvcUs * tscale,
                  cfg.userSvcUs * lscale);
-    Station mcrouter(cfg.mcrouterCores / cfg.mcrouterSvcUs * tscale,
+    Station mcrouter("mcrouter", kTidMcRouter,
+                     cfg.mcrouterCores / cfg.mcrouterSvcUs * tscale,
                      cfg.mcrouterSvcUs * lscale);
-    Station memc(cfg.memcCores / cfg.memcSvcUs * tscale,
+    Station memc("memc", kTidMemc,
+                 cfg.memcCores / cfg.memcSvcUs * tscale,
                  cfg.memcSvcUs * lscale);
 
+    res.tiers = {{"web", {}, {}},
+                 {"user", {}, {}},
+                 {"mcrouter", {}, {}},
+                 {"memc", {}, {}}};
+    TierStat &webStat = res.tiers[0];
+    TierStat &userStat = res.tiers[1];
+    TierStat &mcrouterStat = res.tiers[2];
+    TierStat &memcStat = res.tiers[3];
+
+    uint64_t misses_total = 0;
+    uint64_t orphan_total = 0;
+    uint64_t req_idx = 0;
     double last_completion = 0;
-    for (const auto &b : batches) {
+    for (size_t bi = 0; bi < batches.size(); ++bi) {
+        const auto &b = batches[bi];
         int n = static_cast<int>(b.arrivals.size());
+        if (tr && bsize > 1) {
+            tr->complete("form batch " + std::to_string(bi), "batching",
+                         b.arrivals.front(),
+                         b.emitTime - b.arrivals.front(), kSysPid,
+                         kTidBatchForm,
+                         {{"size", obs::jnum(
+                               static_cast<uint64_t>(n))}});
+        }
+        if (tr) {
+            for (int r = 0; r < n; ++r)
+                tr->asyncBegin("req", "request", req_idx + static_cast<uint64_t>(r),
+                               b.arrivals[static_cast<size_t>(r)],
+                               kSysPid);
+        }
         double bt = b.emitTime;
-        bt = web.process(bt, n) + cfg.netUs;
-        bt = user.process(bt, n) + cfg.netUs;
-        bt = mcrouter.process(bt, n) + cfg.netUs;
-        bt = memc.process(bt, n) + cfg.netUs;  // reply back to user tier
+        bt = web.process(bt, n, webStat, tr) + cfg.netUs;
+        bt = user.process(bt, n, userStat, tr) + cfg.netUs;
+        bt = mcrouter.process(bt, n, mcrouterStat, tr) + cfg.netUs;
+        // Reply back to the user tier.
+        bt = memc.process(bt, n, memcStat, tr) + cfg.netUs;
 
         // Cache outcomes decide who must visit storage.
         int misses = 0;
@@ -125,10 +198,17 @@ runUserScenario(const SysConfig &cfg)
             miss[static_cast<size_t>(r)] = !rng.chance(cfg.memcHitRate);
             misses += miss[static_cast<size_t>(r)] ? 1 : 0;
         }
+        misses_total += static_cast<uint64_t>(misses);
 
         double hit_done = bt + cfg.netUs;  // reply to client
         double miss_done = bt + cfg.netUs + cfg.storageSvcUs +
             2 * cfg.netUs;
+        if (tr && misses > 0) {
+            tr->complete("storage", "sys", bt + cfg.netUs,
+                         cfg.storageSvcUs, kSysPid, kTidStorage,
+                         {{"misses", obs::jnum(
+                               static_cast<uint64_t>(misses))}});
+        }
 
         for (int r = 0; r < n; ++r) {
             double done;
@@ -144,18 +224,48 @@ runUserScenario(const SysConfig &cfg)
                 done = miss_done;
             }
             res.e2eUs.add(done - b.arrivals[static_cast<size_t>(r)]);
+            if (tr)
+                tr->asyncEnd("req", "request", req_idx + static_cast<uint64_t>(r),
+                             done, kSysPid);
             last_completion = std::max(last_completion, done);
         }
+        req_idx += static_cast<uint64_t>(n);
 
         // Split orphans re-execute alone at low SIMT efficiency,
         // consuming extra capacity at the user tier.
-        if (cfg.rpu && cfg.batchSplit && misses > 0)
+        if (cfg.rpu && cfg.batchSplit && misses > 0) {
             user.charge(misses * (cfg.orphanPenalty - 1.0));
+            orphan_total += static_cast<uint64_t>(misses);
+        }
     }
 
     double span_us = last_completion - arrivals.front();
     res.achievedQps = span_us > 0 ?
         static_cast<double>(cfg.requests) / (span_us / 1e6) : 0;
+
+    // Registry exposition: per-tier breakdown + scenario counters.
+    obs::Registry *reg = obs::Scope::registry();
+    reg->counter("sys.requests")->inc(static_cast<uint64_t>(cfg.requests));
+    reg->counter("sys.batches")->inc(batches.size());
+    reg->counter("sys.memc_misses")->inc(misses_total);
+    reg->counter("sys.split_orphans")->inc(orphan_total);
+    reg->gauge("sys.offered_qps")->set(res.offeredQps);
+    reg->gauge("sys.achieved_qps")->set(res.achievedQps);
+    reg->hist("sys.e2e_us")->record(res.e2eUs);
+    for (const auto &tier : res.tiers) {
+        obs::ShardedHist *wait =
+            reg->hist("sys." + tier.name + ".wait_us");
+        // RunningStat keeps no samples, so expose the moments the
+        // model validation story needs as gauges and fold the mean
+        // into the wait histogram per batch-equivalent.
+        reg->gauge("sys." + tier.name + ".wait_mean_us")
+            ->set(tier.waitUs.mean());
+        reg->gauge("sys." + tier.name + ".wait_max_us")
+            ->set(tier.waitUs.max());
+        reg->gauge("sys." + tier.name + ".service_mean_us")
+            ->set(tier.serviceUs.mean());
+        wait->add(tier.waitUs.mean());
+    }
     return res;
 }
 

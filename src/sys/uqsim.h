@@ -28,6 +28,8 @@
 #define SIMR_SYS_UQSIM_H
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "common/stats.h"
 
@@ -65,18 +67,36 @@ struct SysConfig
     double memcHitRate = 0.9;
 };
 
+/** Per-tier latency breakdown (uqSim-style model validation view). */
+struct TierStat
+{
+    std::string name;          ///< "web", "user", "mcrouter", "memc"
+    RunningStat waitUs;        ///< queueing delay ahead of service
+    RunningStat serviceUs;     ///< service occupancy per batch
+};
+
 /** Run outcome. */
 struct SysResult
 {
     double offeredQps = 0;
     double achievedQps = 0;
     Histogram e2eUs;           ///< end-to-end request latency
+    std::vector<TierStat> tiers;  ///< per-tier breakdown, tier order
 
     double meanUs() const { return e2eUs.mean(); }
     double p99Us() const { return e2eUs.percentile(0.99); }
 };
 
-/** Simulate the User scenario at one offered load. */
+/**
+ * Simulate the User scenario at one offered load.
+ *
+ * Observability: per-tier wait/occupancy histograms and scenario
+ * counters are recorded into the scoped obs::Registry
+ * ("sys.<tier>.wait_us", "sys.batches", ...), and when a tracer is in
+ * scope the run emits a Perfetto timeline in simulated microseconds --
+ * batch-formation spans, per-tier service-occupancy spans, storage
+ * visits and per-request async spans.
+ */
 SysResult runUserScenario(const SysConfig &cfg);
 
 } // namespace simr::sys

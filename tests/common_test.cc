@@ -199,6 +199,81 @@ TEST(Histogram, EmptyIsZero)
     Histogram h;
     EXPECT_EQ(h.percentile(0.5), 0.0);
     EXPECT_EQ(h.count(), 0u);
+    // Every percentile of an empty histogram is 0, including the
+    // endpoints and out-of-range ranks.
+    EXPECT_EQ(h.percentile(0.0), 0.0);
+    EXPECT_EQ(h.percentile(1.0), 0.0);
+    EXPECT_EQ(h.percentile(-1.0), 0.0);
+    EXPECT_EQ(h.percentile(2.0), 0.0);
+}
+
+TEST(Histogram, SingleSampleEveryPercentile)
+{
+    Histogram h;
+    h.add(42.0);
+    for (double p : {0.0, 0.01, 0.5, 0.99, 1.0})
+        EXPECT_DOUBLE_EQ(h.percentile(p), 42.0) << "p=" << p;
+}
+
+TEST(Histogram, PercentileEdgeRanksClamp)
+{
+    Histogram h;
+    for (double x : {10.0, 20.0, 30.0, 40.0})
+        h.add(x);
+    // p <= 0 is the minimum, p >= 1 the maximum -- including ranks
+    // outside [0, 1] and NaN (treated as rank 0).
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 10.0);
+    EXPECT_DOUBLE_EQ(h.percentile(-0.5), 10.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 40.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.5), 40.0);
+    EXPECT_DOUBLE_EQ(h.percentile(std::nan("")), 10.0);
+}
+
+TEST(Histogram, PercentileInterpolationLocked)
+{
+    // Regression lock on the interpolation scheme (R-7, the linear
+    // rank estimator): for {10,20,30,40}, rank h = p*(n-1) and the
+    // result interpolates between floor(h) and floor(h)+1.
+    Histogram h;
+    for (double x : {10.0, 20.0, 30.0, 40.0})
+        h.add(x);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 25.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.25), 17.5);
+    EXPECT_DOUBLE_EQ(h.percentile(0.75), 32.5);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0 / 3.0), 20.0);
+}
+
+TEST(Histogram, MergeMatchesCombined)
+{
+    Histogram a, b, all;
+    Rng r(91);
+    for (int i = 0; i < 200; ++i) {
+        double x = r.uniform() * 100;
+        (i % 3 ? a : b).add(x);
+        all.add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    for (double p : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0})
+        EXPECT_DOUBLE_EQ(a.percentile(p), all.percentile(p))
+            << "p=" << p;
+}
+
+TEST(Histogram, MergeAfterPercentileResorts)
+{
+    Histogram a, b;
+    a.add(30.0);
+    a.add(10.0);
+    EXPECT_DOUBLE_EQ(a.percentile(1.0), 30.0);  // forces the sort
+    b.add(20.0);
+    b.add(40.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 4u);
+    EXPECT_DOUBLE_EQ(a.percentile(0.5), 25.0);
+    EXPECT_DOUBLE_EQ(a.percentile(1.0), 40.0);
 }
 
 TEST(CounterSet, AddGetMerge)

@@ -1,0 +1,418 @@
+/**
+ * @file
+ * Tests for the observability layer: metrics registry (counters,
+ * gauges, sharded histograms, merge, exposition pages), thread-local
+ * scoping, the Chrome trace-event tracer (golden-string format check),
+ * the divergence profiler's exact-attribution invariant, and the
+ * deterministic per-cell scoping of simr::runCells.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "obs/divergence.h"
+#include "obs/metrics.h"
+#include "obs/spans.h"
+#include "obs/trace.h"
+#include "simr/runner.h"
+#include "sys/uqsim.h"
+
+using namespace simr;
+
+TEST(Registry, CounterGaugeBasics)
+{
+    obs::Registry reg;
+    obs::Counter *c = reg.counter("a.count");
+    c->inc();
+    c->inc(4);
+    EXPECT_EQ(c->value(), 5u);
+    // get-or-create returns the same handle.
+    EXPECT_EQ(reg.counter("a.count"), c);
+
+    obs::Gauge *g = reg.gauge("a.ratio");
+    g->set(0.75);
+    EXPECT_DOUBLE_EQ(g->value(), 0.75);
+    g->set(0.5);
+    EXPECT_DOUBLE_EQ(g->value(), 0.5);
+}
+
+TEST(Registry, TextPageStableAndSorted)
+{
+    obs::Registry reg;
+    reg.counter("z.last")->inc(2);
+    reg.counter("a.first")->inc(1);
+    reg.gauge("m.mid")->set(1.5);
+    reg.hist("h.lat")->add(10.0);
+    std::string page = reg.textPage();
+    EXPECT_NE(page.find("counter a.first 1\n"), std::string::npos);
+    EXPECT_NE(page.find("counter z.last 2\n"), std::string::npos);
+    EXPECT_NE(page.find("gauge m.mid 1.5\n"), std::string::npos);
+    EXPECT_NE(page.find("hist h.lat count=1"), std::string::npos);
+    // Sorted: a.first precedes z.last.
+    EXPECT_LT(page.find("a.first"), page.find("z.last"));
+    // Rendering twice is bit-identical.
+    EXPECT_EQ(page, reg.textPage());
+}
+
+TEST(Registry, JsonPageParsesShape)
+{
+    obs::Registry reg;
+    reg.counter("c")->inc(7);
+    reg.gauge("g")->set(2.5);
+    reg.hist("h")->add(1.0);
+    std::string j = reg.jsonPage();
+    EXPECT_NE(j.find("\"counters\""), std::string::npos);
+    EXPECT_NE(j.find("\"c\": 7"), std::string::npos);
+    EXPECT_NE(j.find("\"gauges\""), std::string::npos);
+    EXPECT_NE(j.find("\"histograms\""), std::string::npos);
+    EXPECT_NE(j.find("\"count\": 1"), std::string::npos);
+}
+
+TEST(Registry, MergeAddsCountersAndHists)
+{
+    obs::Registry a, b;
+    a.counter("shared")->inc(3);
+    b.counter("shared")->inc(4);
+    b.counter("only_b")->inc(1);
+    a.gauge("g")->set(1.0);
+    b.gauge("g")->set(9.0);
+    a.hist("h")->add(1.0);
+    b.hist("h")->add(3.0);
+    a.merge(b);
+    EXPECT_EQ(a.counter("shared")->value(), 7u);
+    EXPECT_EQ(a.counter("only_b")->value(), 1u);
+    EXPECT_DOUBLE_EQ(a.gauge("g")->value(), 9.0);  // last writer wins
+    Histogram h = a.hist("h")->snapshot();
+    EXPECT_EQ(h.count(), 2u);
+    EXPECT_DOUBLE_EQ(h.mean(), 2.0);
+}
+
+TEST(ShardedHist, ExactUnderThreadPoolContention)
+{
+    // Hammer one registry from a pool; the merged aggregate must match
+    // the serial reference exactly in count/mean/min/max, because the
+    // shard merge is exact (order within a shard is preserved and
+    // RunningStat::merge is the exact combine).
+    obs::Registry reg;
+    obs::ShardedHist *h = reg.hist("contended");
+    obs::Counter *c = reg.counter("adds");
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 5000;
+
+    parallelFor(kThreads, [&](size_t t) {
+        Rng r(1000 + t);
+        for (int i = 0; i < kPerThread; ++i) {
+            h->add(r.uniform() * 100.0);
+            c->inc();
+        }
+    }, kThreads);
+
+    // Serial reference over the same per-thread streams.
+    Histogram ref;
+    for (size_t t = 0; t < kThreads; ++t) {
+        Rng r(1000 + t);
+        for (int i = 0; i < kPerThread; ++i)
+            ref.add(r.uniform() * 100.0);
+    }
+
+    EXPECT_EQ(c->value(),
+              static_cast<uint64_t>(kThreads) * kPerThread);
+    Histogram got = h->snapshot();
+    EXPECT_EQ(got.count(), ref.count());
+    EXPECT_DOUBLE_EQ(got.min(), ref.min());
+    EXPECT_DOUBLE_EQ(got.max(), ref.max());
+    EXPECT_NEAR(got.mean(), ref.mean(), 1e-9);
+    EXPECT_DOUBLE_EQ(got.percentile(0.5), ref.percentile(0.5));
+}
+
+TEST(Scope, NestsAndRestores)
+{
+    EXPECT_EQ(obs::Scope::registry(), &obs::Registry::global());
+    obs::Registry outer, inner;
+    {
+        obs::Scope s1(&outer);
+        EXPECT_EQ(obs::Scope::registry(), &outer);
+        {
+            obs::Scope s2(&inner);
+            EXPECT_EQ(obs::Scope::registry(), &inner);
+            obs::Scope::registry()->counter("x")->inc();
+        }
+        EXPECT_EQ(obs::Scope::registry(), &outer);
+    }
+    EXPECT_EQ(obs::Scope::registry(), &obs::Registry::global());
+    EXPECT_EQ(inner.counter("x")->value(), 1u);
+    EXPECT_EQ(outer.counter("x")->value(), 0u);
+}
+
+#if SIMR_OBS_TRACE
+TEST(Scope, TracerVisibleOnlyInScope)
+{
+    EXPECT_EQ(obs::Scope::tracer(), nullptr);
+    obs::Registry reg;
+    obs::Tracer tr;
+    {
+        obs::Scope s(&reg, &tr);
+        EXPECT_EQ(obs::Scope::tracer(), &tr);
+    }
+    EXPECT_EQ(obs::Scope::tracer(), nullptr);
+}
+#endif
+
+TEST(Tracer, GoldenChromeJson)
+{
+    obs::Tracer tr;
+    tr.processName(1, "chip");
+    tr.complete("op", "cat", 1.0, 2.5, 1, 3, {{"n", obs::jnum(
+        static_cast<uint64_t>(7))}});
+    tr.instant("hit", "ev", 4.0, 1, 3);
+    tr.asyncBegin("req", "r", 9, 0.5, 1);
+    tr.asyncEnd("req", "r", 9, 6.0, 1);
+    std::string expect =
+        "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"
+        "{\"name\":\"process_name\",\"cat\":\"simr\",\"ph\":\"M\","
+        "\"ts\":0.000,\"pid\":1,\"tid\":0,"
+        "\"args\":{\"name\":\"chip\"}},\n"
+        "{\"name\":\"op\",\"cat\":\"cat\",\"ph\":\"X\",\"ts\":1.000,"
+        "\"dur\":2.500,\"pid\":1,\"tid\":3,\"args\":{\"n\":7}},\n"
+        "{\"name\":\"hit\",\"cat\":\"ev\",\"ph\":\"i\",\"ts\":4.000,"
+        "\"pid\":1,\"tid\":3},\n"
+        "{\"name\":\"req\",\"cat\":\"r\",\"ph\":\"b\",\"ts\":0.500,"
+        "\"pid\":1,\"tid\":0,\"id\":9},\n"
+        "{\"name\":\"req\",\"cat\":\"r\",\"ph\":\"e\",\"ts\":6.000,"
+        "\"pid\":1,\"tid\":0,\"id\":9}\n"
+        "]}\n";
+    EXPECT_EQ(tr.json(), expect);
+}
+
+TEST(Tracer, EscapesStrings)
+{
+    obs::Tracer tr;
+    tr.begin("quote\"back\\slash\nnl", "c", 0.0, 0, 0);
+    std::string j = tr.json();
+    EXPECT_NE(j.find("quote\\\"back\\\\slash\\nnl"),
+              std::string::npos);
+}
+
+TEST(Tracer, CapCountsDrops)
+{
+    obs::Tracer tr(2);
+    tr.instant("a", "c", 0, 0, 0);
+    tr.instant("b", "c", 1, 0, 0);
+    tr.instant("c", "c", 2, 0, 0);
+    EXPECT_EQ(tr.size(), 2u);
+    EXPECT_EQ(tr.dropped(), 1u);
+}
+
+namespace
+{
+
+/** Divergent services for the attribution-invariant checks. */
+const char *kDivergentServices[] = {"search-leaf", "hdsearch-leaf",
+                                    "user"};
+
+} // namespace
+
+TEST(DivergenceProfiler, SumsMatchEngineTotals)
+{
+    // The exact-attribution invariant (profiler cells increment at the
+    // same call sites as SimtStats): per-PC sums equal the engine's
+    // aggregate counters, for each of the most divergent services.
+    for (const char *name : kDivergentServices) {
+        auto svc = svc::buildService(name);
+        ASSERT_NE(svc, nullptr) << name;
+        obs::DivergenceProfiler prof(svc->program());
+        auto r = measureEfficiency(*svc, batch::Policy::PerApiArgSize,
+                                   simt::ReconvPolicy::MinSpPc, 32,
+                                   512, 42, &prof);
+        EXPECT_EQ(prof.totalMaskedSlots(), r.stats.maskedSlots)
+            << name;
+        EXPECT_EQ(prof.totalDivergeEvents(), r.stats.divergeEvents)
+            << name;
+        EXPECT_EQ(prof.totalReconvMerges(), r.stats.reconvMerges)
+            << name;
+        // And under stack-IPDOM, where explicit merges happen.
+        obs::DivergenceProfiler prof2(svc->program());
+        auto r2 = measureEfficiency(*svc, batch::Policy::PerApiArgSize,
+                                    simt::ReconvPolicy::StackIpdom, 32,
+                                    512, 42, &prof2);
+        EXPECT_EQ(prof2.totalMaskedSlots(), r2.stats.maskedSlots)
+            << name;
+        EXPECT_EQ(prof2.totalDivergeEvents(), r2.stats.divergeEvents)
+            << name;
+        EXPECT_EQ(prof2.totalReconvMerges(), r2.stats.reconvMerges)
+            << name;
+    }
+}
+
+TEST(DivergenceProfiler, TopRowsCarryFunctionNames)
+{
+    auto svc = svc::buildService("search-leaf");
+    ASSERT_NE(svc, nullptr);
+    obs::DivergenceProfiler prof(svc->program());
+    measureEfficiency(*svc, batch::Policy::PerApiArgSize,
+                      simt::ReconvPolicy::MinSpPc, 32, 512, 42, &prof);
+    auto rows = prof.top(5);
+    ASSERT_FALSE(rows.empty());
+    for (const auto &row : rows) {
+        EXPECT_NE(row.func, "?") << std::hex << row.pc;
+        EXPECT_GT(row.maskedSlots, 0u);
+    }
+}
+
+TEST(SimtStats, PlusEqualsAccumulates)
+{
+    simt::SimtStats a, b;
+    a.batchOps = 10; a.scalarOps = 100; a.maskedSlots = 5;
+    a.divergeEvents = 2; a.reconvMerges = 1; a.batches = 1;
+    a.width = 32;
+    b.batchOps = 20; b.scalarOps = 300; b.maskedSlots = 15;
+    b.divergeEvents = 4; b.reconvMerges = 3; b.batches = 2;
+    b.width = 32;
+    a += b;
+    EXPECT_EQ(a.batchOps, 30u);
+    EXPECT_EQ(a.scalarOps, 400u);
+    EXPECT_EQ(a.maskedSlots, 20u);
+    EXPECT_EQ(a.divergeEvents, 6u);
+    EXPECT_EQ(a.reconvMerges, 4u);
+    EXPECT_EQ(a.batches, 3u);
+    EXPECT_EQ(a.width, 32);
+}
+
+TEST(RunCells, MetricsDeterministicAcrossThreadCounts)
+{
+    std::vector<Cell> cells;
+    TimingOptions opt;
+    opt.requests = 96;
+    for (const char *name : kDivergentServices)
+        cells.push_back({name, core::makeRpuConfig(), opt});
+
+    obs::Registry serial;
+    {
+        obs::Scope scope(&serial);
+        runCells(cells, 1);
+    }
+    obs::Registry parallel4;
+    {
+        obs::Scope scope(&parallel4);
+        runCells(cells, 4);
+    }
+    // Bit-identical exposition at any worker count: per-cell
+    // registries merge into the parent in input order.
+    EXPECT_EQ(serial.textPage(), parallel4.textPage());
+    EXPECT_EQ(serial.jsonPage(), parallel4.jsonPage());
+    EXPECT_GT(serial.counter("core.requests")->value(), 0u);
+}
+
+TEST(Uqsim, RegistryAndTierBreakdown)
+{
+    obs::Registry reg;
+    sys::SysResult r;
+    {
+        obs::Scope scope(&reg);
+        sys::SysConfig cfg;
+        cfg.requests = 2000;
+        cfg.rpu = true;
+        r = sys::runUserScenario(cfg);
+    }
+    EXPECT_EQ(reg.counter("sys.requests")->value(), 2000u);
+    EXPECT_GT(reg.counter("sys.batches")->value(), 0u);
+    EXPECT_GT(reg.counter("sys.memc_misses")->value(), 0u);
+    ASSERT_EQ(r.tiers.size(), 4u);
+    EXPECT_EQ(r.tiers[0].name, "web");
+    EXPECT_EQ(r.tiers[1].name, "user");
+    EXPECT_EQ(r.tiers[2].name, "mcrouter");
+    EXPECT_EQ(r.tiers[3].name, "memc");
+    uint64_t batches = reg.counter("sys.batches")->value();
+    for (const auto &tier : r.tiers) {
+        EXPECT_EQ(tier.waitUs.count(), batches) << tier.name;
+        EXPECT_GT(tier.serviceUs.mean(), 0.0) << tier.name;
+    }
+    EXPECT_GT(reg.gauge("sys.achieved_qps")->value(), 0.0);
+}
+
+#if SIMR_OBS_TRACE
+TEST(Uqsim, EmitsBalancedTimeline)
+{
+    obs::Registry reg;
+    obs::Tracer tr;
+    {
+        obs::Scope scope(&reg, &tr);
+        sys::SysConfig cfg;
+        cfg.requests = 500;
+        cfg.rpu = true;
+        sys::runUserScenario(cfg);
+    }
+    auto events = tr.events();
+    ASSERT_FALSE(events.empty());
+    // Every request must open and close exactly once.
+    int asyncB = 0, asyncE = 0, tierSpans = 0;
+    for (const auto &e : events) {
+        if (e.ph == 'b')
+            ++asyncB;
+        else if (e.ph == 'e')
+            ++asyncE;
+        else if (e.ph == 'X' && e.cat == "sys") {
+            ++tierSpans;
+            EXPECT_GE(e.durUs, 0.0);
+        }
+    }
+    EXPECT_EQ(asyncB, 500);
+    EXPECT_EQ(asyncE, 500);
+    EXPECT_GT(tierSpans, 0);
+}
+
+TEST(SpanRecorder, WindowsCoverEveryOp)
+{
+    // The issue-window spans partition the engine's op timeline: total
+    // window duration == batchOps (1 op = 1us of virtual time).
+    auto svc = svc::buildService("user");
+    ASSERT_NE(svc, nullptr);
+    obs::Tracer tr;
+    obs::SpanRecorder rec(&tr, 1, 1);
+    auto r = measureEfficiency(*svc, batch::Policy::PerApiArgSize,
+                               simt::ReconvPolicy::MinSpPc, 32, 256,
+                               42, &rec);
+    double windowUs = 0;
+    int batchesOpened = 0, batchesClosed = 0;
+    for (const auto &e : tr.events()) {
+        if (e.ph == 'X' && e.name == "window")
+            windowUs += e.durUs;
+        else if (e.ph == 'B')
+            ++batchesOpened;
+        else if (e.ph == 'E')
+            ++batchesClosed;
+    }
+    EXPECT_DOUBLE_EQ(windowUs,
+                     static_cast<double>(r.stats.batchOps));
+    EXPECT_EQ(batchesOpened,
+              static_cast<int>(r.stats.batches));
+    EXPECT_EQ(batchesOpened, batchesClosed);
+}
+
+TEST(SpanRecorder, SinksDoNotPerturbExecution)
+{
+    // Attaching sinks must not change what executes: engine stats are
+    // bit-identical with and without a tracer + profiler attached.
+    auto svc = svc::buildService("search-leaf");
+    ASSERT_NE(svc, nullptr);
+    auto plain = measureEfficiency(*svc, batch::Policy::PerApiArgSize,
+                                   simt::ReconvPolicy::MinSpPc, 32,
+                                   256, 42);
+    obs::Tracer tr;
+    obs::DivergenceProfiler prof(svc->program());
+    obs::SpanRecorder rec(&tr, 1, 1);
+    obs::MultiObserver tee({&prof, &rec});
+    auto traced = measureEfficiency(*svc, batch::Policy::PerApiArgSize,
+                                    simt::ReconvPolicy::MinSpPc, 32,
+                                    256, 42, &tee);
+    EXPECT_EQ(plain.stats.batchOps, traced.stats.batchOps);
+    EXPECT_EQ(plain.stats.scalarOps, traced.stats.scalarOps);
+    EXPECT_EQ(plain.stats.maskedSlots, traced.stats.maskedSlots);
+    EXPECT_EQ(plain.stats.divergeEvents, traced.stats.divergeEvents);
+    EXPECT_EQ(plain.stats.reconvMerges, traced.stats.reconvMerges);
+}
+#endif

@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Minimal Chrome trace-event / Perfetto JSON schema checker.
+
+Validates the subset of the trace-event format that simr's obs::Tracer
+emits, so the golden-file test and the lint gate can prove a trace is
+loadable before anyone opens it in ui.perfetto.dev:
+
+  * top level is an object with a "traceEvents" list
+  * every event has a name, a known phase and numeric ts
+  * X (complete) events carry a non-negative dur
+  * B/E (duration) events balance per (pid, tid) track
+  * b/e (async) events carry a correlation id and balance per id
+  * M (metadata) events are process_name / thread_name shapes
+
+Exit code 0 when the file passes, 1 with diagnostics when it does not.
+
+usage: check_trace.py FILE [--require-cat CAT [CAT ...]]
+"""
+
+import argparse
+import json
+import sys
+
+KNOWN_PHASES = {"X", "B", "E", "i", "I", "C", "b", "e", "n", "M"}
+KNOWN_META = {"process_name", "thread_name", "process_labels",
+              "process_sort_index", "thread_sort_index"}
+
+
+def check(path, require_cats):
+    errors = []
+
+    def err(msg):
+        if len(errors) < 20:
+            errors.append(msg)
+
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"{path}: not loadable JSON: {e}"]
+
+    if isinstance(doc, list):
+        events = doc  # the bare-array flavour is also legal
+    elif isinstance(doc, dict):
+        events = doc.get("traceEvents")
+        if not isinstance(events, list):
+            return [f"{path}: no traceEvents list"]
+    else:
+        return [f"{path}: top level must be an object or array"]
+
+    if not events:
+        err(f"{path}: traceEvents is empty")
+
+    open_durations = {}  # (pid, tid) -> open B count
+    open_async = {}      # (cat, name, id) -> open b count
+    seen_cats = set()
+
+    for i, ev in enumerate(events):
+        where = f"{path}: event {i}"
+        if not isinstance(ev, dict):
+            err(f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in KNOWN_PHASES:
+            err(f"{where}: unknown phase {ph!r}")
+            continue
+        # E events close the track's open B and may omit the name.
+        if ph != "E" and (not isinstance(ev.get("name"), str) or
+                          not ev["name"]):
+            err(f"{where}: missing name")
+        if not isinstance(ev.get("ts"), (int, float)):
+            err(f"{where}: missing numeric ts")
+        seen_cats.update(str(ev.get("cat", "")).split(","))
+
+        track = (ev.get("pid"), ev.get("tid"))
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                err(f"{where}: X event needs dur >= 0, got {dur!r}")
+        elif ph == "B":
+            open_durations[track] = open_durations.get(track, 0) + 1
+        elif ph == "E":
+            n = open_durations.get(track, 0)
+            if n == 0:
+                err(f"{where}: E without matching B on track {track}")
+            else:
+                open_durations[track] = n - 1
+        elif ph in ("b", "e", "n"):
+            if "id" not in ev:
+                err(f"{where}: async {ph} event needs an id")
+            else:
+                key = (ev.get("cat"), ev["name"], ev["id"])
+                if ph == "b":
+                    open_async[key] = open_async.get(key, 0) + 1
+                elif ph == "e":
+                    n = open_async.get(key, 0)
+                    if n == 0:
+                        err(f"{where}: async e without b for {key}")
+                    else:
+                        open_async[key] = n - 1
+        elif ph == "M":
+            if ev["name"] not in KNOWN_META:
+                err(f"{where}: unknown metadata {ev['name']!r}")
+            elif ev["name"] in ("process_name", "thread_name") and \
+                    not isinstance(ev.get("args", {}).get("name"), str):
+                err(f"{where}: metadata needs args.name")
+        elif ph == "C":
+            if not isinstance(ev.get("args"), dict) or not ev["args"]:
+                err(f"{where}: counter event needs args")
+
+    for track, n in sorted(open_durations.items(), key=str):
+        if n:
+            err(f"{path}: {n} unclosed B span(s) on track {track}")
+    for key, n in sorted(open_async.items(), key=str):
+        if n:
+            err(f"{path}: {n} unclosed async span(s) for {key}")
+    for cat in require_cats:
+        if cat not in seen_cats:
+            err(f"{path}: required category {cat!r} never appears")
+
+    return errors
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("file")
+    ap.add_argument("--require-cat", nargs="+", default=[],
+                    help="categories that must appear at least once")
+    args = ap.parse_args()
+
+    errors = check(args.file, args.require_cat)
+    if errors:
+        for e in errors:
+            print(e, file=sys.stderr)
+        return 1
+    print(f"{args.file}: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,26 +1,62 @@
 #!/usr/bin/env bash
-# Tier-2 lint gate: clang-tidy over the library, tool and test sources
-# with the checks pinned in .clang-tidy, warnings treated as errors.
+# Tier-2 lint gate, two stages:
+#
+#  1. trace-schema gate: when a built simr_cli exists, emit a small
+#     Perfetto trace and validate it with tools/check_trace.py (always
+#     runs; python3 is part of the base image);
+#  2. clang-tidy over the library, tool and test sources with the
+#     checks pinned in .clang-tidy, warnings treated as errors
+#     (advisory when clang-tidy is not installed -- the container image
+#     for this repo ships only the gcc toolchain).
 #
 # Usage: tools/lint.sh [build-dir]
 #
-# The build dir must contain compile_commands.json; one is generated
-# into ./build-lint if the default ./build lacks it. Exits 0 when clean,
-# 1 on findings, and 0 with a notice when clang-tidy is not installed
-# (the container image for this repo ships only the gcc toolchain; the
-# gate is advisory there and binding on hosts that have clang-tidy).
+# The build dir must contain compile_commands.json for the clang-tidy
+# stage; one is generated into ./build-lint if the default ./build
+# lacks it. Exits non-zero on any finding from either stage.
 
 set -u
 cd "$(dirname "$0")/.."
 
+STATUS=0
+BUILD="${1:-build}"
+
+# --- Stage 1: trace schema gate -------------------------------------
+CLI=""
+for candidate in "$BUILD/examples/simr_cli" "$BUILD/simr_cli"; do
+    if [ -x "$candidate" ]; then
+        CLI="$candidate"
+        break
+    fi
+done
+if [ -n "$CLI" ] && command -v python3 >/dev/null 2>&1; then
+    TRACE="$(mktemp /tmp/simr_trace.XXXXXX.json)"
+    if "$CLI" trace user --requests 64 --out "$TRACE" >/dev/null; then
+        if python3 tools/check_trace.py "$TRACE" \
+               --require-cat batching lockstep; then
+            echo "lint.sh: trace schema gate passed"
+        else
+            echo "lint.sh: trace schema gate FAILED"
+            STATUS=1
+        fi
+    else
+        echo "lint.sh: simr_cli trace failed"
+        STATUS=1
+    fi
+    rm -f "$TRACE"
+else
+    echo "lint.sh: no built simr_cli (or no python3); skipping the" \
+         "trace schema gate"
+fi
+
+# --- Stage 2: clang-tidy --------------------------------------------
 TIDY="${CLANG_TIDY:-clang-tidy}"
 if ! command -v "$TIDY" >/dev/null 2>&1; then
     echo "lint.sh: $TIDY not found; skipping tier-2 lint (install" \
          "clang-tidy to enable)"
-    exit 0
+    exit $STATUS
 fi
 
-BUILD="${1:-build}"
 if [ ! -f "$BUILD/compile_commands.json" ]; then
     BUILD=build-lint
     cmake -B "$BUILD" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null \
@@ -30,12 +66,11 @@ fi
 FILES=$(find src tests bench examples \
     \( -name '*.cc' -o -name '*.cpp' \) | sort)
 
-STATUS=0
 for f in $FILES; do
     "$TIDY" -p "$BUILD" --quiet "$f" || STATUS=1
 done
 
 if [ "$STATUS" -ne 0 ]; then
-    echo "lint.sh: clang-tidy reported findings (warnings are errors)"
+    echo "lint.sh: findings reported (warnings are errors)"
 fi
 exit $STATUS
