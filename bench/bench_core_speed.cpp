@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Core simulation-speed bench and event-driven determinism gate.
+ *
+ * Runs the full 14-service sweep under every design point (CPU, SMT-8,
+ * RPU, GPU-like) twice -- once with the per-cycle reference loop, once
+ * with the event-driven cycle-skipping loop -- and
+ *
+ *  1. gates that every reported statistic of every cell is bit-identical
+ *     between the two modes (cycles, IPC inputs, the full latency
+ *     histogram, every counter, and all cache/TLB/BP/MCU stats;
+ *     CoreResult::skippedCycles / skipJumps are diagnostics of the loop
+ *     itself and deliberately excluded), and
+ *  2. measures simulation speed (simulated kilo-instructions per wall
+ *     second) per config and the event-driven speedup.
+ *
+ * Emits a machine-readable summary to stdout (one line prefixed
+ * "BENCH_core.json: ") and to the file BENCH_core.json. Exits nonzero
+ * if any cell diverges.
+ *
+ * `--verify` runs the gate alone at a reduced request count (the tier-1
+ * ctest entry `core_event_driven_gate`): no timing, no JSON, just the
+ * 14 x 4 x 2 equivalence check.
+ */
+
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace simr;
+using namespace simr::bench;
+
+namespace
+{
+
+/** Percentiles pinned by the gate (the ones the figures report). */
+constexpr double kPercentiles[] = {0.5, 0.9, 0.95, 0.99};
+
+/**
+ * Bit-identity over every *reported* statistic of a core run.
+ * skippedCycles / skipJumps are loop diagnostics, not model output --
+ * they are exactly what must differ between the modes.
+ */
+bool
+sameCore(const core::CoreResult &a, const core::CoreResult &b)
+{
+    if (a.cycles != b.cycles || a.batchOps != b.batchOps ||
+        a.scalarInsts != b.scalarInsts || a.requests != b.requests)
+        return false;
+    if (a.reqLatency.count() != b.reqLatency.count() ||
+        a.reqLatency.mean() != b.reqLatency.mean() ||
+        a.reqLatency.min() != b.reqLatency.min() ||
+        a.reqLatency.max() != b.reqLatency.max())
+        return false;
+    for (double p : kPercentiles)
+        if (a.reqLatency.percentile(p) != b.reqLatency.percentile(p))
+            return false;
+    if (a.counters.all() != b.counters.all())
+        return false;
+    if (a.l1Stats.accesses != b.l1Stats.accesses ||
+        a.l1Stats.misses != b.l1Stats.misses ||
+        a.l1Stats.storeAccesses != b.l1Stats.storeAccesses ||
+        a.l1Stats.writebacks != b.l1Stats.writebacks)
+        return false;
+    if (a.mcuStats.batchMemInsts != b.mcuStats.batchMemInsts ||
+        a.mcuStats.laneAccesses != b.mcuStats.laneAccesses ||
+        a.mcuStats.generatedAccesses != b.mcuStats.generatedAccesses ||
+        a.mcuStats.sameWord != b.mcuStats.sameWord ||
+        a.mcuStats.stackCoalesced != b.mcuStats.stackCoalesced ||
+        a.mcuStats.consecutive != b.mcuStats.consecutive ||
+        a.mcuStats.divergent != b.mcuStats.divergent)
+        return false;
+    if (a.hierStats.l1BankConflictCycles != b.hierStats.l1BankConflictCycles ||
+        a.hierStats.mshrMerges != b.hierStats.mshrMerges ||
+        a.hierStats.atomicsAtL3 != b.hierStats.atomicsAtL3 ||
+        a.hierStats.totalAccesses != b.hierStats.totalAccesses ||
+        a.hierStats.totalLatency != b.hierStats.totalLatency)
+        return false;
+    if (a.tlbStats.lookups != b.tlbStats.lookups ||
+        a.tlbStats.misses != b.tlbStats.misses)
+        return false;
+    if (a.bpStats.lookups != b.bpStats.lookups ||
+        a.bpStats.mispredicts != b.bpStats.mispredicts ||
+        a.bpStats.majorityVotes != b.bpStats.majorityVotes ||
+        a.bpStats.minorityLaneFlushes != b.bpStats.minorityLaneFlushes)
+        return false;
+    return true;
+}
+
+struct ConfigRow
+{
+    std::string name;
+    double refSecs = 0;
+    double eventSecs = 0;
+    double kopsRef = 0;     ///< simulated kilo-insts / wall second
+    double kopsEvent = 0;
+    double skippedFrac = 0; ///< skipped cycles / total cycles (event mode)
+    bool identical = true;
+    std::vector<std::string> diverged;
+};
+
+/**
+ * Sweep all services under `cfg` in one mode `reps` times; returns the
+ * (deterministic, rep-independent) runs and the minimum wall time. The
+ * min over repetitions is the standard noise filter for wall-clock
+ * microbenchmarks: scheduling hiccups only ever add time.
+ */
+std::vector<TimingRun>
+sweep(core::CoreConfig cfg, bool event_driven, const TimingOptions &opt,
+      int reps, double *secs)
+{
+    cfg.eventDriven = event_driven;
+    std::vector<Cell> cells;
+    for (const auto &name : svc::serviceNames())
+        cells.push_back({name, cfg, opt});
+    std::vector<TimingRun> runs;
+    *secs = 0;
+    for (int r = 0; r < reps; ++r) {
+        auto t0 = std::chrono::steady_clock::now();
+        runs = runCells(cells);
+        auto t1 = std::chrono::steady_clock::now();
+        double s = std::chrono::duration<double>(t1 - t0).count();
+        if (r == 0 || s < *secs)
+            *secs = s;
+    }
+    return runs;
+}
+
+ConfigRow
+compareConfig(const core::CoreConfig &cfg, const TimingOptions &opt,
+              int reps)
+{
+    ConfigRow row;
+    row.name = cfg.name;
+
+    auto ref = sweep(cfg, false, opt, reps, &row.refSecs);
+    auto event = sweep(cfg, true, opt, reps, &row.eventSecs);
+
+    uint64_t insts = 0, cycles = 0, skipped = 0, jumps = 0;
+    const auto &names = svc::serviceNames();
+    for (size_t i = 0; i < ref.size(); ++i) {
+        if (!sameCore(ref[i].core, event[i].core)) {
+            row.identical = false;
+            row.diverged.push_back(names[i]);
+        }
+        if (ref[i].core.skippedCycles != 0) {
+            // The reference loop must never skip: that would mean the
+            // gate compared event-driven against itself.
+            row.identical = false;
+            row.diverged.push_back(names[i] + "(ref-skipped)");
+        }
+        insts += event[i].core.scalarInsts;
+        cycles += event[i].core.cycles;
+        skipped += event[i].core.skippedCycles;
+        jumps += event[i].core.skipJumps;
+    }
+    (void)jumps;
+    row.kopsRef = static_cast<double>(insts) / row.refSecs / 1e3;
+    row.kopsEvent = static_cast<double>(insts) / row.eventSecs / 1e3;
+    row.skippedFrac = cycles ? static_cast<double>(skipped) /
+        static_cast<double>(cycles) : 0.0;
+    return row;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool verify_only = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--verify") == 0)
+            verify_only = true;
+
+    RunScale scale = RunScale::fromEnv();
+    TimingOptions opt;
+    opt.requests = static_cast<int>(scale.timingRequests);
+    if (verify_only && opt.requests > 128)
+        opt.requests = 128;
+    opt.seed = scale.seed;
+
+    std::vector<core::CoreConfig> cfgs = {
+        core::makeCpuConfig(), core::makeSmt8Config(),
+        core::makeRpuConfig(), core::makeGpuConfig(),
+    };
+
+    std::vector<ConfigRow> rows;
+    bool all_identical = true;
+    int reps = verify_only ? 1 : 3;
+    for (const auto &cfg : cfgs) {
+        rows.push_back(compareConfig(cfg, opt, reps));
+        all_identical = all_identical && rows.back().identical;
+    }
+
+    if (verify_only) {
+        for (const auto &r : rows) {
+            std::printf("%-10s %s", r.name.c_str(),
+                        r.identical ? "identical" : "DIVERGED:");
+            for (const auto &s : r.diverged)
+                std::printf(" %s", s.c_str());
+            std::printf("\n");
+        }
+        std::printf("core_event_driven_gate: %s (14 services x %zu "
+                    "configs, %d requests)\n",
+                    all_identical ? "PASS" : "FAIL", cfgs.size(),
+                    opt.requests);
+        return all_identical ? 0 : 1;
+    }
+
+    Table t("Core simulation speed: 14-service sweep, per-cycle vs "
+            "event-driven (" + std::to_string(opt.requests) +
+            " requests/service)");
+    t.header({"config", "ref (s)", "event (s)", "speedup", "ksim-inst/s",
+              "skipped", "identical"});
+    for (const auto &r : rows) {
+        t.row({r.name, Table::num(r.refSecs, 2), Table::num(r.eventSecs, 2),
+               Table::mult(r.refSecs / r.eventSecs),
+               Table::num(r.kopsEvent, 0),
+               Table::pct(r.skippedFrac), r.identical ? "yes" : "NO"});
+    }
+    t.print();
+
+    std::string json = "{\"bench\": \"core_speed\", \"services\": 14, "
+        "\"requests\": " + std::to_string(opt.requests) + ", \"configs\": [";
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const auto &r = rows[i];
+        char buf[256];
+        std::snprintf(buf, sizeof(buf),
+                      "{\"name\": \"%s\", \"ref_seconds\": %.3f, "
+                      "\"event_seconds\": %.3f, \"speedup\": %.2f, "
+                      "\"ksim_insts_per_sec\": %.0f, "
+                      "\"skipped_cycle_frac\": %.4f, \"identical\": %s}",
+                      r.name.c_str(), r.refSecs, r.eventSecs,
+                      r.refSecs / r.eventSecs, r.kopsEvent, r.skippedFrac,
+                      r.identical ? "true" : "false");
+        json += (i ? ", " : "") + std::string(buf);
+    }
+    json += "], \"all_identical\": ";
+    json += all_identical ? "true" : "false";
+    json += "}";
+
+    std::printf("BENCH_core.json: %s\n", json.c_str());
+    if (FILE *f = std::fopen("BENCH_core.json", "w")) {
+        std::fprintf(f, "%s\n", json.c_str());
+        std::fclose(f);
+    }
+    return all_identical ? 0 : 1;
+}

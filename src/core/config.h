@@ -34,6 +34,18 @@ struct CoreConfig
     int frontendDepth = 10;   ///< mispredict refill penalty (cycles)
 
     /**
+     * Event-driven main loop: when a cycle makes no forward progress
+     * (nothing commit-ready, nothing issuable, nothing fetchable), jump
+     * straight to the next cycle where anything can change instead of
+     * ticking through the stall. Bit-identical to the per-cycle
+     * reference loop (eventDriven = false) in every reported statistic
+     * -- cycles, histograms, counters, memory/BP stats -- enforced by
+     * the `bench_core_speed --verify` ctest gate over every service and
+     * design point. See DESIGN.md section 12.
+     */
+    bool eventDriven = true;
+
+    /**
      * Instruction-supply pressure. Microservice binaries famously blow
      * out the i-cache (AsmDB/warehouse-scale studies; the paper cites
      * frequent frontend stalls as a prime CPU inefficiency). Modeled as

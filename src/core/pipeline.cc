@@ -10,6 +10,47 @@ namespace simr::core
 
 using trace::DynOp;
 
+namespace
+{
+
+/** CounterSet names of the StallKind scratch slots, in enum order. */
+constexpr const char *kStallNames[] = {
+    "stall.dep",       // kStallDep
+    "stall.lsq",       // kStallLsq
+    "stall.port",      // kStallPort
+    "stall.fe_branch", // kStallFeBranch
+    "stall.fe_refill", // kStallFeRefill
+    "stall.rob_full",  // kStallRobFull
+};
+
+/** CounterSet names of the HotCtr slots, in enum order. */
+constexpr const char *kHotNames[] = {
+    ctr::kFetch,            // kHotFetch
+    ctr::kDecode,           // kHotDecode
+    ctr::kRename,           // kHotRename
+    ctr::kRobWrite,         // kHotRobWrite
+    ctr::kSimtSelect,       // kHotSimtSelect
+    ctr::kPathSwitch,       // kHotPathSwitch
+    ctr::kBpLookup,         // kHotBpLookup
+    ctr::kBpMispredict,     // kHotBpMispredict
+    "frontend.icache_miss", // kHotIcacheMiss
+    ctr::kIqWakeup,         // kHotIqWakeup
+    ctr::kRegRead,          // kHotRegRead
+    ctr::kRegWrite,         // kHotRegWrite
+    ctr::kIntOps,           // kHotIntOps
+    ctr::kMulOps,           // kHotMulOps
+    ctr::kDivOps,           // kHotDivOps
+    ctr::kFpOps,            // kHotFpOps
+    ctr::kSimdOps,          // kHotSimdOps
+    ctr::kBranchOps,        // kHotBranchOps
+    ctr::kSyscalls,         // kHotSyscalls
+    ctr::kLsqInsert,        // kHotLsqInsert
+    ctr::kMcuInsts,         // kHotMcuInsts
+    ctr::kRobCommit,        // kHotRobCommit
+};
+
+} // namespace
+
 TimingCore::TimingCore(const CoreConfig &cfg)
     : cfg_(cfg),
       map_(cfg.stackInterleave, cfg.batchWidth),
@@ -25,6 +66,11 @@ TimingCore::TimingCore(const CoreConfig &cfg)
     memPorts_.assign(static_cast<size_t>(cfg_.memPorts), 0);
     brPorts_.assign(static_cast<size_t>(cfg_.branchPorts), 0);
     fpPorts_.assign(static_cast<size_t>(cfg_.simdPorts), 0);
+    // The MCU emits at most one access per lane, plus one for a
+    // straddling scalar access; reserving up front keeps the per-op
+    // coalesce path allocation-free.
+    scratchAccesses_.reserve(
+        static_cast<size_t>(std::max(cfg_.batchWidth, 2)) + 1);
 }
 
 TimingCore::~TimingCore() = default;
@@ -55,50 +101,64 @@ TimingCore::claimPort(uint64_t cycle, const DynOp &op, uint32_t occupancy)
       case isa::FuClass::SysUnit: ports = &brPorts_; break;
       case isa::FuClass::None: return true;
     }
+    uint64_t soonest = UINT64_MAX;
     for (auto &free_at : *ports) {
         if (free_at <= cycle) {
             free_at = cycle + occupancy;
             return true;
         }
+        soonest = std::min(soonest, free_at);
     }
+    // Port-starved: remember when this class frees up so the
+    // event-driven loop knows the next cycle issue can make progress.
+    portNextFree_ = std::min(portNextFree_, soonest);
     return false;
+}
+
+void
+TimingCore::hot(int k, uint64_t n)
+{
+    if (cfg_.eventDriven)
+        hotCtrs_[k] += n;
+    else
+        res_.counters.add(kHotNames[k], n);
 }
 
 uint32_t
 TimingCore::executeAt(uint64_t cycle, RobEntry &e)
 {
     const DynOp &op = e.op;
-    int active = std::max(op.activeLanes(), 1);
-    auto &c = res_.counters;
+    uint64_t active =
+        static_cast<uint64_t>(std::max(op.activeLanes(), 1));
 
     switch (op.si->op) {
       case isa::Op::IAlu: {
-        c.add(ctr::kIntOps, static_cast<uint64_t>(active));
+        hot(kHotIntOps, active);
         bool complex = op.si->alu == isa::AluKind::Mix ||
             op.si->alu == isa::AluKind::ModImm;
         return static_cast<uint32_t>(complex ? cfg_.complexAluLat
                                              : cfg_.aluLat);
       }
       case isa::Op::IMul:
-        c.add(ctr::kMulOps, static_cast<uint64_t>(active));
+        hot(kHotMulOps, active);
         return static_cast<uint32_t>(cfg_.mulLat);
       case isa::Op::IDiv:
-        c.add(ctr::kDivOps, static_cast<uint64_t>(active));
+        hot(kHotDivOps, active);
         return static_cast<uint32_t>(cfg_.divLat);
       case isa::Op::FAlu:
-        c.add(ctr::kFpOps, static_cast<uint64_t>(active));
+        hot(kHotFpOps, active);
         return static_cast<uint32_t>(cfg_.faluLat);
       case isa::Op::Simd:
-        c.add(ctr::kSimdOps, static_cast<uint64_t>(active));
+        hot(kHotSimdOps, active);
         return static_cast<uint32_t>(cfg_.simdLat);
       case isa::Op::Branch:
       case isa::Op::Jump:
       case isa::Op::Call:
       case isa::Op::Ret:
-        c.add(ctr::kBranchOps, static_cast<uint64_t>(active));
+        hot(kHotBranchOps, active);
         return static_cast<uint32_t>(cfg_.branchLat);
       case isa::Op::Syscall:
-        c.add(ctr::kSyscalls, static_cast<uint64_t>(active));
+        hot(kHotSyscalls, active);
         return static_cast<uint32_t>(cfg_.syscallLat);
       case isa::Op::Fence:
       case isa::Op::Nop:
@@ -106,8 +166,8 @@ TimingCore::executeAt(uint64_t cycle, RobEntry &e)
       case isa::Op::Load:
       case isa::Op::Store:
       case isa::Op::Atomic: {
-        c.add(ctr::kLsqInsert);
-        c.add(ctr::kMcuInsts);
+        hot(kHotLsqInsert);
+        hot(kHotMcuInsts);
         mem::CoalesceKind kind = mcu_.coalesce(op, scratchAccesses_);
         uint32_t lat = hier_.accessGroup(cycle, scratchAccesses_, kind);
         memInFlight_.push(cycle + lat);
@@ -123,7 +183,7 @@ TimingCore::executeAt(uint64_t cycle, RobEntry &e)
     }
 }
 
-void
+int
 TimingCore::fetch(uint64_t cycle)
 {
     int budget = cfg_.fetchWidth;
@@ -133,6 +193,7 @@ TimingCore::fetch(uint64_t cycle)
     // of the fetch bandwidth per cycle (Table IV: 1-wide per thread at
     // SMT-8), which is what costs SMT its single-thread latency.
     int per_stream = std::max(1, cfg_.fetchWidth / n);
+    int fetched = 0;
 
     for (int i = 0; i < n && budget > 0; ++i) {
         int si = (rrCursor_ + i) % n;
@@ -142,12 +203,19 @@ TimingCore::fetch(uint64_t cycle)
             if (s.exhausted && !s.hasPending)
                 break;
             if (s.waitingBranch || cycle < s.stallUntil) {
-                res_.counters.add(s.waitingBranch ? "stall.fe_branch"
-                                                  : "stall.fe_refill");
+                StallKind k = s.waitingBranch ? kStallFeBranch
+                                              : kStallFeRefill;
+                if (cfg_.eventDriven)
+                    ++cycleStalls_[k];
+                else
+                    res_.counters.add(kStallNames[k]);
                 break;
             }
             if (robCount_ >= rob_.size() || s.inFlight >= partition) {
-                res_.counters.add("stall.rob_full");
+                if (cfg_.eventDriven)
+                    ++cycleStalls_[kStallRobFull];
+                else
+                    res_.counters.add(kStallNames[kStallRobFull]);
                 break;
             }
 
@@ -165,32 +233,29 @@ TimingCore::fetch(uint64_t cycle)
 
             // Instruction-supply stalls: fixed-point accumulate the
             // per-fetched-op i-miss rate; on overflow, charge a refill.
-            double mpki = cfg_.icacheMpki *
-                (cfg_.smtThreads > 1 ? cfg_.smtIcacheFactor : 1.0);
-            s.icacheAccum += static_cast<uint64_t>(mpki * 1000.0);
+            s.icacheAccum += icacheStep_;
             if (s.icacheAccum >= 1000000) {
                 s.icacheAccum -= 1000000;
                 s.stallUntil = cycle +
                     static_cast<uint64_t>(cfg_.icacheMissPenalty);
-                res_.counters.add("frontend.icache_miss");
+                hot(kHotIcacheMiss);
             }
 
             // Frontend accounting: once per (batch) instruction.
-            auto &c = res_.counters;
-            c.add(ctr::kFetch);
-            c.add(ctr::kDecode);
-            c.add(ctr::kRename);
-            c.add(ctr::kRobWrite);
+            hot(kHotFetch);
+            hot(kHotDecode);
+            hot(kHotRename);
+            hot(kHotRobWrite);
             if (cfg_.batchWidth > 1) {
-                c.add(ctr::kSimtSelect);
+                hot(kHotSimtSelect);
                 if (op.pathSwitch)
-                    c.add(ctr::kPathSwitch);
+                    hot(kHotPathSwitch);
             }
 
             bool blocks_fetch = false;
             bool mispred = false;
             if (op.isBranch()) {
-                c.add(ctr::kBpLookup);
+                hot(kHotBpLookup);
                 if (cfg_.inOrder) {
                     // No speculation: every branch stalls fetch until
                     // it resolves.
@@ -201,7 +266,9 @@ TimingCore::fetch(uint64_t cycle)
                 }
             }
 
-            size_t slot = (robHead_ + robCount_) % rob_.size();
+            size_t slot = robHead_ + robCount_;
+            if (slot >= rob_.size())
+                slot -= rob_.size();
             RobEntry &e = rob_[slot];
             e.op.copyFrom(op);
             e.stream = si;
@@ -216,19 +283,21 @@ TimingCore::fetch(uint64_t cycle)
             s.hasPending = false;
             --budget;
             --stream_budget;
+            ++fetched;
 
             if (blocks_fetch) {
                 s.waitingBranch = true;
                 if (mispred)
-                    res_.counters.add(ctr::kBpMispredict);
+                    hot(kHotBpMispredict);
                 break;
             }
         }
     }
     rrCursor_ = (rrCursor_ + 1) % n;
+    return fetched;
 }
 
-void
+int
 TimingCore::issue(uint64_t cycle)
 {
     // Retire completed memory transactions from the LSQ occupancy.
@@ -236,13 +305,25 @@ TimingCore::issue(uint64_t cycle)
         memInFlight_.pop();
 
     int budget = cfg_.issueWidth;
+    int issued = 0;
     size_t examined = 0;
-    for (size_t i = 0; i < robCount_ && budget > 0 &&
+    // Start past the all-issued prefix (those entries would only be
+    // skipped) and keep the ring index incrementally: no div/mod on
+    // the hottest loop in the simulator.
+    const size_t rob_sz = rob_.size();
+    size_t slot = robHead_ + issuedPrefix_;
+    if (slot >= rob_sz)
+        slot -= rob_sz;
+    for (size_t i = issuedPrefix_; i < robCount_ && budget > 0 &&
              examined < static_cast<size_t>(cfg_.schedWindow); ++i) {
-        size_t slot = (robHead_ + i) % rob_.size();
         RobEntry &e = rob_[slot];
-        if (e.issued)
+        if (++slot == rob_sz)
+            slot = 0;
+        if (e.issued) {
+            if (i == issuedPrefix_)
+                ++issuedPrefix_;
             continue;
+        }
         ++examined;
 
         StreamCtx &s = streams_[static_cast<size_t>(e.stream)];
@@ -257,14 +338,20 @@ TimingCore::issue(uint64_t cycle)
             return s.doneAt[pseq % kDoneRing] <= cycle;
         };
         if (!ready(e.op.dep1) || !ready(e.op.dep2)) {
-            res_.counters.add("stall.dep");
+            if (cfg_.eventDriven)
+                ++cycleStalls_[kStallDep];
+            else
+                res_.counters.add(kStallNames[kStallDep]);
             continue;
         }
 
         if (e.op.isMem() &&
             memInFlight_.size() >=
                 static_cast<size_t>(cfg_.lsqEntries)) {
-            res_.counters.add("stall.lsq");
+            if (cfg_.eventDriven)
+                ++cycleStalls_[kStallLsq];
+            else
+                res_.counters.add(kStallNames[kStallLsq]);
             continue;
         }
 
@@ -290,26 +377,37 @@ TimingCore::issue(uint64_t cycle)
             break;
         }
         if (!claimPort(cycle, e.op, occupancy)) {
-            res_.counters.add("stall.port");
+            if (cfg_.eventDriven)
+                ++cycleStalls_[kStallPort];
+            else
+                res_.counters.add(kStallNames[kStallPort]);
             continue;
         }
 
         uint32_t lat = executeAt(cycle, e);
         e.doneCycle = cycle + occupancy - 1 + lat;
+        // A completion at cycle+1 can never bound a skip: the earliest
+        // possible no-progress cycle is already cycle+1 (this cycle
+        // issued something), where that completion is in the past. So
+        // single-cycle ops -- the bulk of the mix -- skip the heap.
+        if (cfg_.eventDriven && e.doneCycle > cycle + 1)
+            completions_.push(e.doneCycle);
         e.issued = true;
+        if (i == issuedPrefix_)
+            ++issuedPrefix_;
         s.doneAt[e.seq % kDoneRing] = e.doneCycle;
         if (cfg_.inOrder)
             s.issuedSeq = e.seq;
         --budget;
-        res_.counters.add(ctr::kIqWakeup);
+        ++issued;
+        hot(kHotIqWakeup);
 
         // Register file activity (per active lane).
-        int active = std::max(e.op.activeLanes(), 1);
-        res_.counters.add(ctr::kRegRead,
-                          static_cast<uint64_t>(2 * active));
+        uint64_t active =
+            static_cast<uint64_t>(std::max(e.op.activeLanes(), 1));
+        hot(kHotRegRead, 2 * active);
         if (isa::opInfo(e.op.si->op).writesReg)
-            res_.counters.add(ctr::kRegWrite,
-                              static_cast<uint64_t>(active));
+            hot(kHotRegWrite, active);
 
         if (e.mispredicted) {
             // Fetch resumes after resolution plus the refill depth.
@@ -318,37 +416,78 @@ TimingCore::issue(uint64_t cycle)
             s.waitingBranch = false;
         }
     }
+    return issued;
 }
 
-void
+int
 TimingCore::commit(uint64_t cycle)
 {
     int budget = cfg_.commitWidth;
+    int committed = 0;
     while (robCount_ > 0 && budget > 0) {
         RobEntry &e = rob_[robHead_];
         if (!e.issued || e.doneCycle > cycle)
             break;
         StreamCtx &s = streams_[static_cast<size_t>(e.stream)];
 
-        res_.counters.add(ctr::kRobCommit);
+        hot(kHotRobCommit);
         ++res_.batchOps;
         res_.scalarInsts +=
             static_cast<uint64_t>(std::max(e.op.activeLanes(), 1));
 
         if (e.op.endMask) {
             int ended = trace::popcount(e.op.endMask);
-            for (int k = 0; k < ended; ++k) {
-                res_.reqLatency.add(
-                    static_cast<double>(cycle - e.reqStart));
-            }
+            res_.reqLatency.addN(static_cast<double>(cycle - e.reqStart),
+                                 static_cast<uint64_t>(ended));
             res_.requests += static_cast<uint64_t>(ended);
         }
 
-        robHead_ = (robHead_ + 1) % rob_.size();
+        if (++robHead_ == rob_.size())
+            robHead_ = 0;
         --robCount_;
+        if (issuedPrefix_ > 0)
+            --issuedPrefix_;
         --s.inFlight;
         --budget;
+        ++committed;
     }
+    return committed;
+}
+
+uint64_t
+TimingCore::nextEventCycle(uint64_t cycle)
+{
+    uint64_t next = UINT64_MAX;
+
+    // Completion of an issued, in-flight op: wakes its dependents and,
+    // at the ROB head, the committer. Un-issued entries cannot change
+    // state before one of the other events fires first. The heap is
+    // lazy: drop heads that already completed (their event is in the
+    // past, and the clock is monotone, so they can never matter again).
+    while (!completions_.empty() && completions_.top() <= cycle)
+        completions_.pop();
+    if (!completions_.empty())
+        next = completions_.top();
+
+    // Frontend refill expiry re-enables fetch. A stream parked on an
+    // unresolved branch ignores its stallUntil (resolution happens at
+    // issue, which one of the other events gates).
+    for (const auto &s : streams_) {
+        if (!s.exhausted && !s.waitingBranch && s.stallUntil > cycle)
+            next = std::min(next, s.stallUntil);
+    }
+
+    // LSQ drain matters only when something stalled on a full LSQ this
+    // cycle; the head of memInFlight_ is the first retirement.
+    if (cycleStalls_[kStallLsq] > 0 && !memInFlight_.empty())
+        next = std::min(next, memInFlight_.top());
+
+    // FU-port release matters only when something port-starved this
+    // cycle; claimPort recorded the earliest release among those FUs.
+    if (cycleStalls_[kStallPort] > 0)
+        next = std::min(next, portNextFree_);
+
+    return next;
 }
 
 CoreResult
@@ -375,7 +514,15 @@ TimingCore::run(const std::vector<trace::DynStream *> &streams,
     }
     robHead_ = 0;
     robCount_ = 0;
+    issuedPrefix_ = 0;
     rrCursor_ = 0;
+    {
+        // Same expression the per-op path used to evaluate, hoisted:
+        // the accumulator step is a run constant.
+        double mpki = cfg_.icacheMpki *
+            (cfg_.smtThreads > 1 ? cfg_.smtIcacheFactor : 1.0);
+        icacheStep_ = static_cast<uint64_t>(mpki * 1000.0);
+    }
     std::fill(intPorts_.begin(), intPorts_.end(), 0);
     std::fill(mulPorts_.begin(), mulPorts_.end(), 0);
     std::fill(simdPorts_.begin(), simdPorts_.end(), 0);
@@ -384,17 +531,81 @@ TimingCore::run(const std::vector<trace::DynStream *> &streams,
     std::fill(fpPorts_.begin(), fpPorts_.end(), 0);
     while (!memInFlight_.empty())
         memInFlight_.pop();
+    while (!completions_.empty())
+        completions_.pop();
+    std::fill(std::begin(stallTotals_), std::end(stallTotals_), 0);
+    std::fill(std::begin(hotCtrs_), std::end(hotCtrs_), 0);
 
+    const uint64_t nstreams = streams_.size();
     uint64_t cycle = 0;
-    for (; cycle < max_cycles && !allDrained(); ++cycle) {
-        commit(cycle);
-        issue(cycle);
-        fetch(cycle);
+    if (!cfg_.eventDriven) {
+        // The per-cycle reference loop: tick every simulated cycle,
+        // stall counters recorded per occurrence straight into the
+        // CounterSet (the original accounting). The determinism gate
+        // compares the event-driven loop below against this, so it
+        // stays deliberately plain.
+        for (; cycle < max_cycles && !allDrained(); ++cycle) {
+            commit(cycle);
+            issue(cycle);
+            fetch(cycle);
+        }
+    } else {
+        while (cycle < max_cycles && !allDrained()) {
+            std::fill(std::begin(cycleStalls_), std::end(cycleStalls_),
+                      0);
+            portNextFree_ = UINT64_MAX;
+
+            int work = commit(cycle);
+            work += issue(cycle);
+            work += fetch(cycle);
+
+            // Event-driven cycle skipping. A cycle with no commit, no
+            // issue and no fetch changes nothing but the clock: every
+            // ROB entry keeps its stall reason and every stream its
+            // fetch-stall reason until the next event fires
+            // (dependence/commit wake-ups are bounded by the earliest
+            // doneCycle, LSQ occupancy by memInFlight_'s head, port
+            // starvation by the earliest release, refills by
+            // stallUntil). So the per-cycle reference loop would
+            // re-record exactly this cycle's stall pattern on every
+            // skipped cycle -- which is what makes replaying it `span`
+            // times bit-identical, including the round-robin cursor
+            // advance.
+            uint64_t span = 1;
+            if (work == 0) {
+                uint64_t next = nextEventCycle(cycle);
+                if (next <= cycle || next == UINT64_MAX)
+                    next = cycle + 1;  // nothing pending: crawl
+                next = std::min(next, max_cycles);
+                span = next - cycle;
+                res_.skippedCycles += span - 1;
+                if (span > 1) {
+                    ++res_.skipJumps;
+                    rrCursor_ = static_cast<int>(
+                        (static_cast<uint64_t>(rrCursor_) +
+                         (span - 1) % nstreams) % nstreams);
+                }
+                cycle = next;
+            } else {
+                ++cycle;
+            }
+            for (int k = 0; k < kNumStallKinds; ++k)
+                stallTotals_[k] += cycleStalls_[k] * span;
+        }
     }
     if (!allDrained())
         simr_warn("core '%s' hit the cycle bound", cfg_.name.c_str());
 
     res_.cycles = cycle;
+
+    // Totals reach the CounterSet once per run, not once per event; a
+    // name appears iff it fired, like direct per-occurrence add().
+    for (int k = 0; k < kNumHotCtrs; ++k)
+        if (hotCtrs_[k] > 0)
+            res_.counters.add(kHotNames[k], hotCtrs_[k]);
+    for (int k = 0; k < kNumStallKinds; ++k)
+        if (stallTotals_[k] > 0)
+            res_.counters.add(kStallNames[k], stallTotals_[k]);
 
     // Snapshot the memory path and predictor state.
     res_.l1Stats = hier_.l1().stats();

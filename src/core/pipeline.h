@@ -50,6 +50,16 @@ struct CoreResult
     Histogram reqLatency;        ///< per-request latency in cycles
     CounterSet counters;
 
+    /**
+     * Simulator diagnostics, not reported statistics: how many of
+     * `cycles` the event-driven loop jumped over instead of ticking,
+     * and in how many jumps. Zero in the per-cycle reference mode --
+     * deliberately excluded from the mode-equivalence gate, which
+     * compares every *modeled* number above and below this block.
+     */
+    uint64_t skippedCycles = 0;
+    uint64_t skipJumps = 0;
+
     // Memory-path snapshots for the figures.
     mem::CacheStats l1Stats;
     mem::McuStats mcuStats;
@@ -153,9 +163,13 @@ class TimingCore
     };
 
     bool allDrained() const;
-    void fetch(uint64_t cycle);
-    void issue(uint64_t cycle);
-    void commit(uint64_t cycle);
+
+    /** @name Per-cycle stages. Each returns the ops it processed. */
+    /// @{
+    int fetch(uint64_t cycle);
+    int issue(uint64_t cycle);
+    int commit(uint64_t cycle);
+    /// @}
 
     /** Compute execution latency and perform side effects at issue. */
     uint32_t executeAt(uint64_t cycle, RobEntry &e);
@@ -163,6 +177,61 @@ class TimingCore
     /** Claim an FU port of the op's class; false if none this cycle. */
     bool claimPort(uint64_t cycle, const trace::DynOp &op,
                    uint32_t occupancy);
+
+    /** Count a HotCtr event: flat array (event mode) or map (ref). */
+    void hot(int k, uint64_t n = 1);
+
+    /**
+     * Stall-counter kinds. In event-driven mode these are recorded per
+     * cycle into a scratch array so a no-progress cycle's pattern can be
+     * replayed N times in O(1) when the loop skips N identical cycles
+     * (and so the hot loop never touches the CounterSet map; totals land
+     * in `res_.counters` once, at the end of run()). The per-cycle
+     * reference loop keeps the original per-occurrence
+     * `res_.counters.add` accounting -- same final counts, seed cost.
+     */
+    enum StallKind {
+        kStallDep = 0,   ///< operand not complete
+        kStallLsq,       ///< LSQ full
+        kStallPort,      ///< FU ports busy
+        kStallFeBranch,  ///< fetch parked on an unresolved branch
+        kStallFeRefill,  ///< fetch parked on a frontend refill
+        kStallRobFull,   ///< ROB (or SMT partition) full
+        kNumStallKinds,
+    };
+
+    /**
+     * Per-op event counters touched on the fetch/issue/commit hot path.
+     * In event-driven mode they accumulate in a flat array (one add per
+     * event instead of one string-keyed map lookup per event, tens of
+     * millions per run) and fold into `res_.counters` once at the end
+     * of run(); a name appears in the CounterSet iff its total is
+     * nonzero, exactly as if it had been added per occurrence. The
+     * per-cycle reference keeps the original per-occurrence add -- same
+     * final counts, seed cost profile (see StallKind).
+     */
+    enum HotCtr {
+        kHotFetch = 0, kHotDecode, kHotRename, kHotRobWrite,
+        kHotSimtSelect, kHotPathSwitch, kHotBpLookup, kHotBpMispredict,
+        kHotIcacheMiss,
+        kHotIqWakeup, kHotRegRead, kHotRegWrite,
+        kHotIntOps, kHotMulOps, kHotDivOps, kHotFpOps, kHotSimdOps,
+        kHotBranchOps, kHotSyscalls, kHotLsqInsert, kHotMcuInsts,
+        kHotRobCommit,
+        kNumHotCtrs,
+    };
+
+    /**
+     * First cycle after `cycle` at which a stalled core can change
+     * state: the earliest completion among issued in-flight ops (from
+     * the lazy `completions_` heap), the earliest frontend-refill
+     * expiry, the earliest LSQ retirement (when something stalled on
+     * the LSQ this cycle) and the earliest FU-port release (when
+     * something port-starved this cycle). UINT64_MAX when nothing is
+     * pending (the caller crawls one cycle, exactly like the reference
+     * loop would).
+     */
+    uint64_t nextEventCycle(uint64_t cycle);
 
     static constexpr size_t kDoneRing = 8192;
 
@@ -175,13 +244,36 @@ class TimingCore
     std::vector<RobEntry> rob_;      ///< ring buffer
     size_t robHead_ = 0;
     size_t robCount_ = 0;
+    /**
+     * Length of the longest known all-issued prefix of the ROB (from
+     * robHead_). The issue scan starts past it -- in memory-bound
+     * phases most unretired entries are issued ops parked at the head
+     * waiting on a long-latency load, and rescanning them every cycle
+     * is the single hottest loop in the simulator. Grows when the entry
+     * at its boundary issues, shrinks by one per retirement.
+     */
+    size_t issuedPrefix_ = 0;
     int rrCursor_ = 0;
+    uint64_t icacheStep_ = 0;  ///< per-op i-miss accumulator increment
 
     std::vector<uint64_t> intPorts_, mulPorts_, simdPorts_, memPorts_,
         brPorts_, fpPorts_;
     std::priority_queue<uint64_t, std::vector<uint64_t>,
                         std::greater<uint64_t>> memInFlight_;
+    /**
+     * Lazy min-heap of issued ops' doneCycles, pushed at issue and
+     * popped when stale (past). Only read by nextEventCycle(): the
+     * head is the earliest in-flight completion, without an O(ROB)
+     * sweep on every no-progress cycle.
+     */
+    std::priority_queue<uint64_t, std::vector<uint64_t>,
+                        std::greater<uint64_t>> completions_;
     std::vector<mem::MemAccess> scratchAccesses_;
+
+    uint64_t cycleStalls_[kNumStallKinds] = {};  ///< this cycle's pattern
+    uint64_t stallTotals_[kNumStallKinds] = {};  ///< whole-run totals
+    uint64_t hotCtrs_[kNumHotCtrs] = {};         ///< whole-run totals
+    uint64_t portNextFree_ = 0;  ///< earliest release among starved FUs
 
     CoreResult res_;
 };

@@ -5,16 +5,28 @@
 namespace simr::mem
 {
 
+void
+CacheConfig::validate() const
+{
+    simr_assert(lineBytes > 0 && (lineBytes & (lineBytes - 1)) == 0,
+                "cache line size must be a power of two");
+    simr_assert(assoc >= 1, "cache associativity must be >= 1");
+    simr_assert(banks >= 1, "cache bank count must be >= 1");
+    simr_assert(bankInterleave >= lineBytes,
+                "bank interleave must be at least one line");
+}
+
 Cache::Cache(CacheConfig cfg)
     : cfg_(std::move(cfg))
 {
-    simr_assert(cfg_.lineBytes > 0 && cfg_.assoc > 0, "bad cache geometry");
+    cfg_.validate();
     uint64_t num_lines = cfg_.sizeBytes / cfg_.lineBytes;
     simr_assert(num_lines >= cfg_.assoc, "cache smaller than one set");
     numSets_ = static_cast<uint32_t>(num_lines / cfg_.assoc);
     simr_assert((numSets_ & (numSets_ - 1)) == 0,
                 "cache set count must be a power of two");
     lines_.resize(static_cast<size_t>(numSets_) * cfg_.assoc);
+    mruWay_.assign(numSets_, 0);
 }
 
 uint32_t
@@ -37,9 +49,21 @@ Cache::access(Addr paddr, bool is_store)
         ++stats_.storeAccesses;
     ++tick_;
 
-    uint32_t set = setOf(paddr);
-    Addr tag = tagOf(paddr);
+    // Set/tag share one line-number division; the MRU way hint resolves
+    // the common repeat-hit case without scanning the set. Both are
+    // stats-neutral: hit/miss/writeback counts and the LRU victim are
+    // exactly what the full scan computes.
+    Addr line_num = paddr / cfg_.lineBytes;
+    uint32_t set = static_cast<uint32_t>(line_num & (numSets_ - 1));
+    Addr tag = line_num / numSets_;
     Line *base = &lines_[static_cast<size_t>(set) * cfg_.assoc];
+
+    Line &hinted = base[mruWay_[set]];
+    if (hinted.valid && hinted.tag == tag) {
+        hinted.lru = tick_;
+        hinted.dirty = hinted.dirty || is_store;
+        return true;
+    }
 
     Line *victim = base;
     for (uint32_t w = 0; w < cfg_.assoc; ++w) {
@@ -47,6 +71,7 @@ Cache::access(Addr paddr, bool is_store)
         if (l.valid && l.tag == tag) {
             l.lru = tick_;
             l.dirty = l.dirty || is_store;
+            mruWay_[set] = w;
             return true;
         }
         if (!l.valid) {
@@ -63,6 +88,7 @@ Cache::access(Addr paddr, bool is_store)
     victim->tag = tag;
     victim->lru = tick_;
     victim->dirty = is_store;
+    mruWay_[set] = static_cast<uint32_t>(victim - base);
     return false;
 }
 
@@ -83,6 +109,7 @@ Cache::reset()
 {
     for (auto &l : lines_)
         l = Line();
+    mruWay_.assign(numSets_, 0);
     tick_ = 0;
     stats_ = CacheStats();
 }

@@ -26,6 +26,14 @@ struct CacheConfig
     uint32_t lineBytes = 32;
     uint32_t banks = 1;
     uint32_t bankInterleave = 32;  ///< bytes per bank before rotating
+
+    /**
+     * Panic on an unusable geometry (non-power-of-two line size,
+     * zero ways/banks, bank interleave finer than a line). Called at
+     * Cache construction so a bad sweep config fails loudly instead of
+     * silently misindexing sets.
+     */
+    void validate() const;
 };
 
 /** Aggregate counters for one cache instance. */
@@ -93,6 +101,7 @@ class Cache
     CacheConfig cfg_;
     uint32_t numSets_;
     std::vector<Line> lines_;  ///< numSets_ x assoc, row-major
+    std::vector<uint32_t> mruWay_;  ///< per-set MRU way hint
     uint64_t tick_ = 0;
     CacheStats stats_;
 };

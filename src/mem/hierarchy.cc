@@ -7,11 +7,88 @@
 namespace simr::mem
 {
 
+void
+MemPathConfig::validate() const
+{
+    l1.validate();
+    l2.validate();
+    l3.validate();
+    simr_assert(mshrs >= 1, "need at least one MSHR");
+}
+
+MshrTable::MshrTable(uint32_t entries)
+{
+    simr_assert(entries >= 1, "need at least one MSHR");
+    slots_.resize(entries);
+}
+
+void
+MshrTable::insert(Addr line, uint64_t ready, uint64_t now)
+{
+    // Prefer, in order: the line's existing slot (refresh, exactly like
+    // map[line] = ready), a dead slot (fill already completed -- it can
+    // never merge again, so recycling it in place is invisible), and
+    // only then growth of the overflow list. Dropping nothing live
+    // keeps the table merge-for-merge identical to the unbounded map.
+    Slot *dead = nullptr;
+    for (auto &s : slots_) {
+        if (s.line == line) {
+            s.ready = ready;
+            return;
+        }
+        if (dead == nullptr && (s.line == kNoLine || s.ready <= now))
+            dead = &s;
+    }
+    // The overflow scan doubles as compaction: dead spill entries are
+    // swap-removed in passing (they can never merge, so dropping them
+    // is invisible), keeping the spill list near its live size.
+    for (size_t i = 0; i < overflow_.size();) {
+        if (overflow_[i].line == line) {
+            overflow_[i].ready = ready;
+            return;
+        }
+        if (overflow_[i].ready <= now) {
+            overflow_[i] = overflow_.back();
+            overflow_.pop_back();
+        } else {
+            ++i;
+        }
+    }
+    if (dead != nullptr) {
+        dead->line = line;
+        dead->ready = ready;
+        return;
+    }
+    overflow_.push_back(Slot{line, ready});
+}
+
+void
+MshrTable::clear()
+{
+    for (auto &s : slots_)
+        s = Slot();
+    overflow_.clear();
+}
+
+size_t
+MshrTable::liveFills(uint64_t now) const
+{
+    size_t n = 0;
+    for (const auto &s : slots_)
+        if (s.line != kNoLine && s.ready > now)
+            ++n;
+    for (const auto &s : overflow_)
+        if (s.ready > now)
+            ++n;
+    return n;
+}
+
 MemoryHierarchy::MemoryHierarchy(const MemPathConfig &cfg,
                                  const AddressMap &map)
     : cfg_(cfg), map_(map), l1_(cfg.l1), l2_(cfg.l2), l3_(cfg.l3),
-      tlb_(cfg.tlb), noc_(cfg.noc), dram_(cfg.dram)
+      tlb_(cfg.tlb), noc_(cfg.noc), dram_(cfg.dram), mshrs_(cfg.mshrs)
 {
+    cfg_.validate();
     bankFree_.assign(cfg_.l1.banks, 0);
 }
 
@@ -74,22 +151,12 @@ MemoryHierarchy::accessPath(uint64_t cycle, const MemAccess &acc,
     // MSHR merge window: a line with an in-flight fill serves new
     // requests at the fill's completion, whether or not the (eager)
     // functional fill already installed it.
-    if (cycle - lastPurge_ > 100000) {
-        // Lazily drop long-completed entries to bound map growth.
-        for (auto it = outstanding_.begin(); it != outstanding_.end();) {
-            if (it->second <= cycle)
-                it = outstanding_.erase(it);
-            else
-                ++it;
-        }
-        lastPurge_ = cycle;
-    }
     Addr line = acc.paddr - (acc.paddr % cfg_.l1.lineBytes);
-    auto mshr = outstanding_.find(line);
-    if (mshr != outstanding_.end() && mshr->second > start) {
+    uint64_t fill_ready = mshrs_.lookup(line);
+    if (fill_ready > start) {
         ++stats_.mshrMerges;
         l1_.access(acc.paddr, acc.isStore);
-        uint32_t lat = static_cast<uint32_t>(mshr->second - cycle);
+        uint32_t lat = static_cast<uint32_t>(fill_ready - cycle);
         stats_.totalLatency += lat;
         return lat;
     }
@@ -109,7 +176,7 @@ MemoryHierarchy::accessPath(uint64_t cycle, const MemAccess &acc,
             latency += dram_.access(cycle + latency, acc.paddr);
     }
 
-    outstanding_[line] = cycle + latency;
+    mshrs_.insert(line, cycle + latency, cycle);
     stats_.totalLatency += latency;
     return latency;
 }
@@ -125,8 +192,7 @@ MemoryHierarchy::reset()
     dram_.reset();
     stats_ = HierarchyStats();
     bankFree_.assign(cfg_.l1.banks, 0);
-    outstanding_.clear();
-    lastPurge_ = 0;
+    mshrs_.clear();
 }
 
 } // namespace simr::mem

@@ -21,6 +21,10 @@ recordRunMetrics(const TimingRun &run)
     reg->counter("core.batch_ops")->inc(run.core.batchOps);
     reg->counter("core.scalar_insts")->inc(run.core.scalarInsts);
     reg->counter("core.requests")->inc(run.core.requests);
+    // Simulator diagnostics: how much work the event-driven loop
+    // avoided. Zero when CoreConfig::eventDriven is off.
+    reg->counter("core.cycles_skipped")->inc(run.core.skippedCycles);
+    reg->counter("core.skip_jumps")->inc(run.core.skipJumps);
     reg->gauge("core.ipc")->set(run.core.ipc());
     reg->hist("core.req_latency_cycles")->record(run.core.reqLatency);
     if (run.simt.batches > 0)

@@ -329,3 +329,35 @@ TEST(Config, RunScaleFromEnv)
     unsetenv("SIMR_REQUESTS");
     unsetenv("SIMR_TIMING_REQUESTS");
 }
+
+TEST(Histogram, AddNMatchesRepeatedAdd)
+{
+    // The commit stage retires multi-request batches through addN; the
+    // figures must not shift against the one-add-per-request original.
+    Histogram bulk, loop;
+    struct { double x; uint64_t n; } batches[] = {
+        {12.0, 3}, {4.5, 1}, {90.25, 7}, {4.5, 5}, {0.0, 2},
+    };
+    for (const auto &b : batches) {
+        bulk.addN(b.x, b.n);
+        for (uint64_t i = 0; i < b.n; ++i)
+            loop.add(b.x);
+    }
+    EXPECT_EQ(bulk.count(), loop.count());
+    EXPECT_DOUBLE_EQ(bulk.mean(), loop.mean());
+    EXPECT_DOUBLE_EQ(bulk.min(), loop.min());
+    EXPECT_DOUBLE_EQ(bulk.max(), loop.max());
+    for (double p : {0.5, 0.9, 0.95, 0.99})
+        EXPECT_DOUBLE_EQ(bulk.percentile(p), loop.percentile(p));
+}
+
+TEST(Histogram, AddNZeroCountIsNoop)
+{
+    Histogram h;
+    h.addN(7.0, 0);
+    EXPECT_EQ(h.count(), 0u);
+    h.add(1.0);
+    h.addN(3.0, 0);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_DOUBLE_EQ(h.max(), 1.0);
+}

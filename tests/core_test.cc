@@ -306,3 +306,42 @@ INSTANTIATE_TEST_SUITE_P(AllServices, ConfigSmokeTest,
                                      c = '_';
                              return n;
                          });
+
+TEST(EventDriven, MatchesReferenceLoop)
+{
+    // Fast in-tree spot check of the determinism gate (the full
+    // 14 x 4 sweep runs as the ctest entry core_event_driven_gate via
+    // bench_core_speed --verify): the cycle-skipping loop must
+    // reproduce the per-cycle reference bit for bit, and the reference
+    // must never skip.
+    const auto &names = svc::serviceNames();
+    std::vector<std::string> picks = {names.front(), names.back()};
+    for (const auto &name : picks) {
+        auto svc = svc::buildService(name);
+        TimingOptions opt;
+        opt.requests = 32;
+        for (auto cfg : {makeCpuConfig(), makeSmt8Config(),
+                         makeRpuConfig(), makeGpuConfig()}) {
+            cfg.eventDriven = false;
+            auto ref = runTiming(*svc, cfg, opt);
+            cfg.eventDriven = true;
+            auto evt = runTiming(*svc, cfg, opt);
+
+            EXPECT_EQ(ref.core.skippedCycles, 0u) << cfg.name;
+            EXPECT_EQ(ref.core.cycles, evt.core.cycles)
+                << name << "/" << cfg.name;
+            EXPECT_EQ(ref.core.scalarInsts, evt.core.scalarInsts)
+                << name << "/" << cfg.name;
+            EXPECT_EQ(ref.core.requests, evt.core.requests)
+                << name << "/" << cfg.name;
+            EXPECT_EQ(ref.core.counters.all(), evt.core.counters.all())
+                << name << "/" << cfg.name;
+            EXPECT_DOUBLE_EQ(ref.core.reqLatency.mean(),
+                             evt.core.reqLatency.mean())
+                << name << "/" << cfg.name;
+            EXPECT_EQ(ref.core.hierStats.mshrMerges,
+                      evt.core.hierStats.mshrMerges)
+                << name << "/" << cfg.name;
+        }
+    }
+}

@@ -412,3 +412,110 @@ TEST(AddressSpace, Classification)
               Segment::Stack);
     EXPECT_EQ(AddressSpace::classify(0x10), Segment::Other);
 }
+
+TEST(CacheConfigValidation, RejectsBadGeometry)
+{
+    // Construction-time validation: a bad geometry must die loudly at
+    // the config boundary, not corrupt set indexing later.
+    CacheConfig c = smallCache();
+    c.lineBytes = 48;  // not a power of two
+    EXPECT_DEATH(Cache{c}, "lineBytes");
+
+    c = smallCache();
+    c.assoc = 0;
+    EXPECT_DEATH(Cache{c}, "assoc >= 1");
+
+    c = smallCache();
+    c.banks = 0;
+    EXPECT_DEATH(Cache{c}, "banks >= 1");
+
+    c = smallCache();
+    c.bankInterleave = c.lineBytes / 2;
+    EXPECT_DEATH(Cache{c}, "bankInterleave >= lineBytes");
+}
+
+TEST(MemPathConfigValidation, RejectsZeroMshrs)
+{
+    MemPathConfig cfg;
+    cfg.l1 = smallCache(64, 8, 8);
+    cfg.l2 = smallCache(512, 8, 1);
+    cfg.l3 = smallCache(256, 16, 1);
+    cfg.mshrs = 0;
+    AddressMap m(false, 1);
+    // The MshrTable member asserts before MemPathConfig::validate()
+    // gets its turn; either way, zero MSHRs dies at construction.
+    EXPECT_DEATH((MemoryHierarchy{cfg, m}), "entries >= 1");
+}
+
+TEST(MshrTable, KeepsLiveFillsBeyondCapacity)
+{
+    // The fixed table spills past its nominal capacity rather than
+    // dropping live fills: merge behaviour must be identical to the
+    // unbounded map it replaced.
+    MshrTable t(2);
+    t.insert(0x1000, 100, 0);
+    t.insert(0x2000, 110, 0);
+    t.insert(0x3000, 120, 0);  // beyond the 2 primary slots
+    t.insert(0x4000, 130, 0);
+    EXPECT_EQ(t.liveFills(0), 4u);
+    EXPECT_EQ(t.lookup(0x1000), 100u);
+    EXPECT_EQ(t.lookup(0x2000), 110u);
+    EXPECT_EQ(t.lookup(0x3000), 120u);
+    EXPECT_EQ(t.lookup(0x4000), 130u);
+    EXPECT_EQ(t.lookup(0x5000), 0u);
+}
+
+TEST(MshrTable, RefreshDoesNotDuplicate)
+{
+    MshrTable t(2);
+    t.insert(0x1000, 100, 0);
+    t.insert(0x1000, 150, 0);  // same line refreshed, like map[line]=
+    EXPECT_EQ(t.liveFills(0), 1u);
+    EXPECT_EQ(t.lookup(0x1000), 150u);
+}
+
+TEST(MshrTable, RecyclesDeadSlots)
+{
+    // Completed fills can never merge again; their slots are reused in
+    // place and dead overflow entries are compacted away, so the table
+    // stays near its live size instead of growing run-long.
+    MshrTable t(1);
+    t.insert(0x1000, 10, 0);   // primary
+    t.insert(0x2000, 10, 0);   // overflow
+    t.insert(0x3000, 10, 0);   // overflow
+    EXPECT_EQ(t.liveFills(0), 3u);
+    // At cycle 20 everything completed; a new fill reuses a dead slot.
+    t.insert(0x4000, 30, 20);
+    EXPECT_EQ(t.liveFills(20), 1u);
+    EXPECT_EQ(t.lookup(0x4000), 30u);
+    EXPECT_EQ(t.lookup(0x1000), 0u) << "dead entry recycled";
+}
+
+TEST(Hierarchy, MshrMergesPreservedOverCapacity)
+{
+    // With a single nominal MSHR, two outstanding misses to different
+    // lines must still both merge follow-on accesses (the spill list
+    // keeps the second fill); the rewrite must not change merge counts.
+    MemPathConfig cfg;
+    cfg.l1 = smallCache(64, 8, 8);
+    cfg.l2 = smallCache(512, 8, 1);
+    cfg.l3 = smallCache(256, 16, 1);
+    cfg.mshrs = 1;
+    AddressMap m(false, 1);
+    MemoryHierarchy h(cfg, m);
+
+    MemAccess a;
+    a.paddr = 0x10000;
+    uint32_t lat1 = h.accessOne(0, a);
+    a.paddr = 0x20000;  // different line and bank, also a miss
+    uint32_t lat2 = h.accessOne(0, a);
+    ASSERT_GT(lat1, cfg.l1HitLatency);
+    ASSERT_GT(lat2, cfg.l1HitLatency);
+
+    a.paddr = 0x10008;
+    h.accessOne(1, a);
+    a.paddr = 0x20008;
+    h.accessOne(1, a);
+    EXPECT_EQ(h.stats().mshrMerges, 2u)
+        << "over-capacity fill lost its merge window";
+}

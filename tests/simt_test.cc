@@ -348,3 +348,54 @@ TEST(Lockstep, MajorityOutcomeInTakenMask)
     }
     EXPECT_TRUE(saw_branch);
 }
+
+TEST(SimtStats, AccumulateAdoptsWidthOnlyWhenEmpty)
+{
+    // An empty (default) accumulator adopts the width of the first
+    // stats merged in, so efficiency() over a sweep of 8-wide engines
+    // does not silently divide by the 32-wide default.
+    simt::SimtStats eight;
+    eight.width = 8;
+    eight.batches = 3;
+    eight.batchOps = 100;
+    eight.scalarOps = 640;
+
+    simt::SimtStats acc;
+    acc += eight;
+    EXPECT_EQ(acc.width, 8);
+    EXPECT_EQ(acc.batches, 3u);
+    EXPECT_EQ(acc.batchOps, 100u);
+
+    // A populated accumulator keeps its own width even when merging
+    // stats of a different (or default) width.
+    simt::SimtStats other;
+    other.width = 32;
+    other.batches = 1;
+    other.batchOps = 10;
+    acc += other;
+    EXPECT_EQ(acc.width, 8);
+    EXPECT_EQ(acc.batches, 4u);
+    EXPECT_EQ(acc.batchOps, 110u);
+}
+
+TEST(SimtStats, AccumulateEmptyCases)
+{
+    // empty += empty: still "empty", width stays usable (the default).
+    simt::SimtStats a, b;
+    a += b;
+    EXPECT_EQ(a.width, 32);
+    EXPECT_EQ(a.batches, 0u);
+    EXPECT_DOUBLE_EQ(a.efficiency(), 1.0);
+
+    // populated += empty: nothing changes, width kept.
+    simt::SimtStats pop;
+    pop.width = 8;
+    pop.batches = 2;
+    pop.batchOps = 16;
+    pop.scalarOps = 128;
+    simt::SimtStats empty;
+    pop += empty;
+    EXPECT_EQ(pop.width, 8);
+    EXPECT_EQ(pop.batches, 2u);
+    EXPECT_DOUBLE_EQ(pop.efficiency(), 1.0);
+}
