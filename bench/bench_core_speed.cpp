@@ -36,60 +36,6 @@ using namespace simr::bench;
 namespace
 {
 
-/** Percentiles pinned by the gate (the ones the figures report). */
-constexpr double kPercentiles[] = {0.5, 0.9, 0.95, 0.99};
-
-/**
- * Bit-identity over every *reported* statistic of a core run.
- * skippedCycles / skipJumps are loop diagnostics, not model output --
- * they are exactly what must differ between the modes.
- */
-bool
-sameCore(const core::CoreResult &a, const core::CoreResult &b)
-{
-    if (a.cycles != b.cycles || a.batchOps != b.batchOps ||
-        a.scalarInsts != b.scalarInsts || a.requests != b.requests)
-        return false;
-    if (a.reqLatency.count() != b.reqLatency.count() ||
-        a.reqLatency.mean() != b.reqLatency.mean() ||
-        a.reqLatency.min() != b.reqLatency.min() ||
-        a.reqLatency.max() != b.reqLatency.max())
-        return false;
-    for (double p : kPercentiles)
-        if (a.reqLatency.percentile(p) != b.reqLatency.percentile(p))
-            return false;
-    if (a.counters.all() != b.counters.all())
-        return false;
-    if (a.l1Stats.accesses != b.l1Stats.accesses ||
-        a.l1Stats.misses != b.l1Stats.misses ||
-        a.l1Stats.storeAccesses != b.l1Stats.storeAccesses ||
-        a.l1Stats.writebacks != b.l1Stats.writebacks)
-        return false;
-    if (a.mcuStats.batchMemInsts != b.mcuStats.batchMemInsts ||
-        a.mcuStats.laneAccesses != b.mcuStats.laneAccesses ||
-        a.mcuStats.generatedAccesses != b.mcuStats.generatedAccesses ||
-        a.mcuStats.sameWord != b.mcuStats.sameWord ||
-        a.mcuStats.stackCoalesced != b.mcuStats.stackCoalesced ||
-        a.mcuStats.consecutive != b.mcuStats.consecutive ||
-        a.mcuStats.divergent != b.mcuStats.divergent)
-        return false;
-    if (a.hierStats.l1BankConflictCycles != b.hierStats.l1BankConflictCycles ||
-        a.hierStats.mshrMerges != b.hierStats.mshrMerges ||
-        a.hierStats.atomicsAtL3 != b.hierStats.atomicsAtL3 ||
-        a.hierStats.totalAccesses != b.hierStats.totalAccesses ||
-        a.hierStats.totalLatency != b.hierStats.totalLatency)
-        return false;
-    if (a.tlbStats.lookups != b.tlbStats.lookups ||
-        a.tlbStats.misses != b.tlbStats.misses)
-        return false;
-    if (a.bpStats.lookups != b.bpStats.lookups ||
-        a.bpStats.mispredicts != b.bpStats.mispredicts ||
-        a.bpStats.majorityVotes != b.bpStats.majorityVotes ||
-        a.bpStats.minorityLaneFlushes != b.bpStats.minorityLaneFlushes)
-        return false;
-    return true;
-}
-
 struct ConfigRow
 {
     std::string name;
@@ -142,7 +88,7 @@ compareConfig(const core::CoreConfig &cfg, const TimingOptions &opt,
     uint64_t insts = 0, cycles = 0, skipped = 0, jumps = 0;
     const auto &names = svc::serviceNames();
     for (size_t i = 0; i < ref.size(); ++i) {
-        if (!sameCore(ref[i].core, event[i].core)) {
+        if (!sameCoreResult(ref[i].core, event[i].core)) {
             row.identical = false;
             row.diverged.push_back(names[i]);
         }

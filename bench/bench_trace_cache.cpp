@@ -1,0 +1,402 @@
+/**
+ * @file
+ * Trace-replay determinism gate and trace-cache speedup bench.
+ *
+ * The trace caches must be invisible in everything but wall-clock
+ * time: a request replayed from a CapturedTrace -- and a whole cell
+ * replayed from a cached StreamTrace -- must drive the timing core
+ * through exactly the dynamic stream live execution would have
+ * produced. This binary checks and measures that claim over the full
+ * 14-service x 4-config sweep:
+ *
+ *  - `--verify` (the tier-1 ctest entry `trace_replay_gate`): at 128
+ *    requests, for harness widths 1 and 4, every (service, config) cell
+ *    is run three ways -- live (caches bypassed), cold (caches cleared,
+ *    so the run captures and dedup-replays), and warm (everything
+ *    replays, the timing runs entirely from cached streams) -- and
+ *    every reported statistic (full CoreResult including the latency
+ *    histogram and counter map, plus SimtStats) must be bit-identical
+ *    across all three. The front-end sweep (runFrontEnd) is verified
+ *    the same way: live vs warm SimtStats / op counts / request counts
+ *    must match exactly.
+ *
+ *  - bench mode: measures two sweeps live vs cold vs warm and emits
+ *    BENCH_trace.json. The headline is the *front-end* sweep -- the
+ *    functional half of the simulator (request generation, batching,
+ *    interpretation, lockstep grouping), which is what the caches
+ *    remove; a warm re-run serves every cell straight from the stream
+ *    cache. The full timing sweep is reported alongside: its warm
+ *    speedup is bounded by the timing core's share of the run
+ *    (reported transparently), while its bit-identity across live /
+ *    cold / warm is what proves replay exact. Also reports the
+ *    per-service dedup ratio (requests served by a trace captured
+ *    from a *different* request). Exits nonzero if any cell diverges.
+ */
+
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/parallel.h"
+#include "simr/streamcache.h"
+#include "trace/capture.h"
+
+using namespace simr;
+using namespace simr::bench;
+
+namespace
+{
+
+std::vector<core::CoreConfig>
+gateConfigs()
+{
+    return {core::makeCpuConfig(), core::makeSmt8Config(),
+            core::makeRpuConfig(), core::makeGpuConfig()};
+}
+
+/** The full 14-service sweep under every config, in input order. */
+std::vector<Cell>
+sweepCells(const TimingOptions &opt)
+{
+    std::vector<Cell> cells;
+    for (const auto &cfg : gateConfigs())
+        for (const auto &name : svc::serviceNames())
+            cells.push_back({name, cfg, opt});
+    return cells;
+}
+
+std::string
+cellName(const Cell &cell)
+{
+    return cell.cfg.name + "/" + cell.service;
+}
+
+/**
+ * Compare two sweeps cell by cell; appends "config/service(tag)" for
+ * every diverged cell.
+ */
+bool
+sameSweep(const std::vector<Cell> &cells,
+          const std::vector<TimingRun> &a, const std::vector<TimingRun> &b,
+          const char *tag, std::vector<std::string> *diverged)
+{
+    bool same = true;
+    for (size_t i = 0; i < cells.size(); ++i) {
+        if (!sameCoreResult(a[i].core, b[i].core) ||
+            !sameSimtStats(a[i].simt, b[i].simt)) {
+            same = false;
+            diverged->push_back(cellName(cells[i]) + "(" + tag + ")");
+        }
+    }
+    return same;
+}
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - t0).count();
+}
+
+/** Drop both trace-cache levels (request traces and whole streams). */
+void
+clearCaches()
+{
+    if (trace::TraceCache *c = trace::TraceCache::process())
+        c->clear();
+    if (StreamCache *c = StreamCache::process())
+        c->clear();
+}
+
+/**
+ * Run the front-end half of every cell (runFrontEnd, no timing core),
+ * fanned out like runCells and with the same per-cell seeds, so the
+ * sweep shares stream-cache entries with the timing sweeps.
+ */
+std::vector<FrontEndRun>
+frontEndSweep(const std::vector<Cell> &cells, double *secs)
+{
+    std::vector<FrontEndRun> out(cells.size());
+    auto t0 = std::chrono::steady_clock::now();
+    parallelFor(cells.size(), [&](size_t i) {
+        const Cell &cell = cells[i];
+        auto svc = svc::buildService(cell.service);
+        TimingOptions opt = cell.opt;
+        opt.seed = cellSeed(cell.opt.seed, cell.service, cell.cfg);
+        out[i] = runFrontEnd(*svc, cell.cfg, opt);
+    }, 0);
+    *secs = secondsSince(t0);
+    return out;
+}
+
+/** Front-end sweep `reps` times, keeping the minimum wall time. */
+std::vector<FrontEndRun>
+timedFrontEndSweep(const std::vector<Cell> &cells, int reps, double *secs)
+{
+    std::vector<FrontEndRun> runs;
+    *secs = 0;
+    for (int r = 0; r < reps; ++r) {
+        double s = 0;
+        runs = frontEndSweep(cells, &s);
+        if (r == 0 || s < *secs)
+            *secs = s;
+    }
+    return runs;
+}
+
+/** Compare two front-end sweeps cell by cell (stats and counts). */
+bool
+sameFrontEndSweep(const std::vector<Cell> &cells,
+                  const std::vector<FrontEndRun> &a,
+                  const std::vector<FrontEndRun> &b, const char *tag,
+                  std::vector<std::string> *diverged)
+{
+    bool same = true;
+    for (size_t i = 0; i < cells.size(); ++i) {
+        if (!sameSimtStats(a[i].simt, b[i].simt) ||
+            a[i].dynOps != b[i].dynOps ||
+            a[i].requests != b[i].requests) {
+            same = false;
+            diverged->push_back(cellName(cells[i]) + "(" + tag + ")");
+        }
+    }
+    return same;
+}
+
+/**
+ * Run the sweep `reps` times, keeping the minimum wall time (the
+ * standard noise filter: scheduling hiccups only ever add time). The
+ * runs themselves are deterministic, so keeping the last is fine.
+ */
+std::vector<TimingRun>
+timedSweep(const std::vector<Cell> &cells, int threads, int reps,
+           double *secs)
+{
+    std::vector<TimingRun> runs;
+    *secs = 0;
+    for (int r = 0; r < reps; ++r) {
+        auto t0 = std::chrono::steady_clock::now();
+        runs = runCells(cells, threads);
+        double s = secondsSince(t0);
+        if (r == 0 || s < *secs)
+            *secs = s;
+    }
+    return runs;
+}
+
+int
+runVerify(TimingOptions opt)
+{
+    trace::TraceCache *cache = trace::TraceCache::process();
+    if (opt.requests > 128)
+        opt.requests = 128;
+
+    TimingOptions live_opt = opt;
+    live_opt.useTraceCache = false;
+    TimingOptions cached_opt = opt;
+    cached_opt.useTraceCache = true;
+
+    bool all_identical = true;
+    for (int threads : {1, 4}) {
+        auto live_cells = sweepCells(live_opt);
+        auto cached_cells = sweepCells(cached_opt);
+        auto live = runCells(live_cells, threads);
+
+        clearCaches();
+        auto cold = runCells(cached_cells, threads);
+        auto warm = runCells(cached_cells, threads);
+
+        std::vector<std::string> diverged;
+        bool ok =
+            sameSweep(cached_cells, live, cold, "cold", &diverged) &
+            sameSweep(cached_cells, live, warm, "warm", &diverged);
+        std::printf("threads=%d %s", threads,
+                    ok ? "identical" : "DIVERGED:");
+        for (const auto &s : diverged)
+            std::printf(" %s", s.c_str());
+        std::printf("\n");
+        all_identical = all_identical && ok;
+    }
+
+    // Front-end sweep: live vs warm (the timing sweeps above left the
+    // stream cache fully populated, so this warm pass replays every
+    // cell). Checks the functional half the headline bench measures.
+    {
+        double secs = 0;
+        auto fe_live = frontEndSweep(sweepCells(live_opt), &secs);
+        auto fe_warm = frontEndSweep(sweepCells(cached_opt), &secs);
+        std::vector<std::string> diverged;
+        bool ok = sameFrontEndSweep(sweepCells(cached_opt), fe_live,
+                                    fe_warm, "front-end", &diverged);
+        std::printf("front-end %s", ok ? "identical" : "DIVERGED:");
+        for (const auto &s : diverged)
+            std::printf(" %s", s.c_str());
+        std::printf("\n");
+        all_identical = all_identical && ok;
+    }
+
+    std::printf("trace_replay_gate: %s (14 services x 4 configs x "
+                "{live, cold, warm}, %d requests, cache %s)\n",
+                all_identical ? "PASS" : "FAIL", opt.requests,
+                cache ? "enabled" : "DISABLED (SIMR_TRACE_CACHE=0)");
+    return all_identical ? 0 : 1;
+}
+
+int
+runBench(const TimingOptions &opt)
+{
+    trace::TraceCache *cache = trace::TraceCache::process();
+
+    TimingOptions live_opt = opt;
+    live_opt.useTraceCache = false;
+    TimingOptions cached_opt = opt;
+    cached_opt.useTraceCache = true;
+
+    auto live_cells = sweepCells(live_opt);
+    auto cached_cells = sweepCells(cached_opt);
+
+    // Front-end sweep (the headline): the functional half of every
+    // cell, which a warm stream cache serves without executing.
+    double fe_live_secs = 0, fe_cold_secs = 0, fe_warm_secs = 0;
+    auto fe_live = timedFrontEndSweep(live_cells, 2, &fe_live_secs);
+    clearCaches();
+    auto fe_cold = frontEndSweep(cached_cells, &fe_cold_secs);
+    auto fe_warm = timedFrontEndSweep(cached_cells, 2, &fe_warm_secs);
+
+    // Full timing sweep, measured from its own cold start.
+    double live_secs = 0, cold_secs = 0, warm_secs = 0;
+    auto live = timedSweep(live_cells, 0, 2, &live_secs);
+
+    clearCaches();
+    auto t0 = std::chrono::steady_clock::now();
+    auto cold = runCells(cached_cells, 0);
+    cold_secs = secondsSince(t0);
+    auto warm = timedSweep(cached_cells, 0, 2, &warm_secs);
+
+    std::vector<std::string> diverged;
+    bool identical =
+        sameSweep(cached_cells, live, cold, "cold", &diverged) &
+        sameSweep(cached_cells, live, warm, "warm", &diverged) &
+        sameFrontEndSweep(cached_cells, fe_live, fe_cold, "fe-cold",
+                          &diverged) &
+        sameFrontEndSweep(cached_cells, fe_live, fe_warm, "fe-warm",
+                          &diverged);
+    for (const auto &s : diverged)
+        std::printf("DIVERGED: %s\n", s.c_str());
+
+    // Dedup per service, from the cold sweep: requests served by a
+    // trace captured from a different request (zipf key popularity).
+    // Cells of all four configs of a service fold into one ratio.
+    const auto &names = svc::serviceNames();
+    std::vector<double> dedup(names.size(), 0.0);
+    for (size_t i = 0; i < cached_cells.size(); ++i) {
+        const auto &r = cold[i].reuse;
+        uint64_t reqs = r.hits + r.misses;
+        if (reqs)
+            dedup[i % names.size()] +=
+                static_cast<double>(r.dedupHits) /
+                static_cast<double>(reqs) / 4.0;
+    }
+
+    Table f("Trace cache: front-end sweep (14 services x 4 configs, " +
+            std::to_string(opt.requests) +
+            " requests/service), live vs replay");
+    f.header({"sweep", "seconds", "speedup"});
+    f.row({"live (no cache)", Table::num(fe_live_secs, 2),
+           Table::mult(1.0)});
+    f.row({"cold (capture)", Table::num(fe_cold_secs, 2),
+           Table::mult(fe_live_secs / fe_cold_secs)});
+    f.row({"warm (replay)", Table::num(fe_warm_secs, 2),
+           Table::mult(fe_live_secs / fe_warm_secs)});
+    f.print();
+
+    Table t("Full timing sweep (front end + timing core; warm speedup "
+            "bounded by the core's share)");
+    t.header({"sweep", "seconds", "speedup"});
+    t.row({"live (no cache)", Table::num(live_secs, 2), Table::mult(1.0)});
+    t.row({"cold (capture)", Table::num(cold_secs, 2),
+           Table::mult(live_secs / cold_secs)});
+    t.row({"warm (replay)", Table::num(warm_secs, 2),
+           Table::mult(live_secs / warm_secs)});
+    t.print();
+
+    Table d("Request dedup on the cold sweep (traces shared across "
+            "distinct requests)");
+    d.header({"service", "dedup ratio"});
+    for (size_t i = 0; i < names.size(); ++i)
+        d.row({names[i], Table::pct(dedup[i])});
+    d.print();
+
+    uint64_t entries = cache ? cache->entries() : 0;
+    uint64_t bytes = cache ? cache->bytesResident() : 0;
+    StreamCache *scache = StreamCache::process();
+    uint64_t stream_entries = scache ? scache->entries() : 0;
+    uint64_t stream_bytes = scache ? scache->bytesResident() : 0;
+    double max_dedup = 0;
+    for (double x : dedup)
+        max_dedup = std::max(max_dedup, x);
+
+    // Headline live/cold/warm seconds and speedups are the front-end
+    // sweep (what the caches accelerate); timing_* is the full timing
+    // sweep alongside.
+    std::string json = "{\"bench\": \"trace_cache\", \"services\": 14, "
+        "\"configs\": 4, \"requests\": " + std::to_string(opt.requests) +
+        ", \"live_seconds\": " + std::to_string(fe_live_secs) +
+        ", \"cold_seconds\": " + std::to_string(fe_cold_secs) +
+        ", \"warm_seconds\": " + std::to_string(fe_warm_secs) +
+        ", \"timing_live_seconds\": " + std::to_string(live_secs) +
+        ", \"timing_cold_seconds\": " + std::to_string(cold_secs) +
+        ", \"timing_warm_seconds\": " + std::to_string(warm_secs);
+    char buf[200];
+    std::snprintf(buf, sizeof(buf),
+                  ", \"speedup_cold\": %.2f, \"speedup_warm\": %.2f, "
+                  "\"timing_speedup_cold\": %.2f, "
+                  "\"timing_speedup_warm\": %.2f, "
+                  "\"max_dedup_ratio\": %.4f",
+                  fe_live_secs / fe_cold_secs,
+                  fe_live_secs / fe_warm_secs,
+                  live_secs / cold_secs, live_secs / warm_secs,
+                  max_dedup);
+    json += buf;
+    json += ", \"per_service_dedup\": [";
+    for (size_t i = 0; i < names.size(); ++i) {
+        std::snprintf(buf, sizeof(buf), "{\"name\": \"%s\", "
+                      "\"dedup_ratio\": %.4f}", names[i].c_str(),
+                      dedup[i]);
+        json += (i ? ", " : "") + std::string(buf);
+    }
+    json += "], \"cache_entries\": " + std::to_string(entries) +
+        ", \"cache_bytes\": " + std::to_string(bytes) +
+        ", \"stream_entries\": " + std::to_string(stream_entries) +
+        ", \"stream_bytes\": " + std::to_string(stream_bytes) +
+        ", \"identical\": ";
+    json += identical ? "true" : "false";
+    json += "}";
+
+    std::printf("BENCH_trace.json: %s\n", json.c_str());
+    if (FILE *f = std::fopen("BENCH_trace.json", "w")) {
+        std::fprintf(f, "%s\n", json.c_str());
+        std::fclose(f);
+    }
+    return identical ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool verify_only = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--verify") == 0)
+            verify_only = true;
+
+    RunScale scale = RunScale::fromEnv();
+    TimingOptions opt;
+    opt.requests = static_cast<int>(scale.timingRequests);
+    opt.seed = scale.seed;
+
+    return verify_only ? runVerify(opt) : runBench(opt);
+}

@@ -421,6 +421,11 @@ cmdStats(const std::string &service, int argc, char **argv)
         runTiming(*svc, cfg, opt);
     }
 
+    // Trace-cache totals depend on cross-thread scheduling, so runCells
+    // never records them into its deterministic per-cell registries;
+    // snapshot them here, once, right before exposition.
+    recordTraceCacheStats();
+
     if (has(argc, argv, "--json"))
         std::printf("%s", reg.jsonPage().c_str());
     else

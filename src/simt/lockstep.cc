@@ -54,16 +54,17 @@ LockstepObserver::onBatchEnd(uint64_t, uint64_t)
 LockstepEngine::LockstepEngine(const isa::Program &prog,
                                ReconvPolicy policy, int width,
                                BatchProvider provider,
-                               SpinEscapeConfig spin)
+                               SpinEscapeConfig spin,
+                               trace::TraceCache *cache)
     : prog_(prog), policy_(policy), width_(width),
-      provider_(std::move(provider)), spin_(spin)
+      provider_(std::move(provider)), spin_(spin), pi_(prog)
 {
     simr_assert(width_ >= 1 && width_ <= trace::kMaxBatch,
                 "batch width out of range");
     stats_.width = width_;
-    threads_.reserve(static_cast<size_t>(width_));
+    lanes_.reserve(static_cast<size_t>(width_));
     for (int i = 0; i < width_; ++i)
-        threads_.push_back(std::make_unique<trace::ThreadState>(prog_));
+        lanes_.push_back(std::make_unique<trace::LaneExec>(pi_, cache));
     inits_.reserve(static_cast<size_t>(width_));
     stagnation_.assign(static_cast<size_t>(width_), 0);
     lastPos_.assign(static_cast<size_t>(width_), 0);
@@ -84,8 +85,8 @@ LockstepEngine::launchNext()
     liveMask_ = 0;
     batchSize_ = n;
     for (int i = 0; i < n; ++i) {
-        threads_[static_cast<size_t>(i)]->reset(inits_[static_cast<size_t>(i)]);
-        if (!threads_[static_cast<size_t>(i)]->done())
+        lanes_[static_cast<size_t>(i)]->reset(inits_[static_cast<size_t>(i)]);
+        if (!lanes_[static_cast<size_t>(i)]->done())
             liveMask_ |= (1u << i);
     }
     if (liveMask_ == 0)
@@ -100,7 +101,7 @@ LockstepEngine::launchNext()
     stack_.clear();
     // All live lanes start at main's entry.
     int first = __builtin_ctz(liveMask_);
-    const auto &t0 = *threads_[static_cast<size_t>(first)];
+    const auto &t0 = *lanes_[static_cast<size_t>(first)];
     stack_.push_back({t0.curBlock(), t0.curIdx(), t0.callDepth(), -1,
                       liveMask_});
 
@@ -136,7 +137,7 @@ LockstepEngine::execGroup(Mask mask, DynOp &op)
     for (int lane = 0; lane < batchSize_; ++lane) {
         if (!(mask & (1u << lane)))
             continue;
-        trace::ThreadState &t = *threads_[static_cast<size_t>(lane)];
+        trace::LaneExec &t = *lanes_[static_cast<size_t>(lane)];
         trace::StepResult r;
         t.step(r);
         if (!op.si) {
@@ -278,7 +279,7 @@ LockstepEngine::stepStack(DynOp &op)
     for (int lane = 0; lane < batchSize_; ++lane) {
         if (!(survivors & (1u << lane)))
             continue;
-        const trace::ThreadState &t = *threads_[static_cast<size_t>(lane)];
+        const trace::LaneExec &t = *lanes_[static_cast<size_t>(lane)];
         uint64_t key = posKey(t.callDepth(), t.curBlock(), t.curIdx());
         bool found = false;
         for (int g = 0; g < ngroups; ++g) {
@@ -389,7 +390,7 @@ LockstepEngine::stepMinSp(DynOp &op)
         for (int lane = 0; lane < batchSize_; ++lane) {
             if (!(liveMask_ & (1u << lane)))
                 continue;
-            const auto &t = *threads_[static_cast<size_t>(lane)];
+            const auto &t = *lanes_[static_cast<size_t>(lane)];
             int d = t.callDepth();
             isa::Pc pc = t.curPc();
             if (pick < 0 || d > best_depth ||
@@ -403,13 +404,13 @@ LockstepEngine::stepMinSp(DynOp &op)
     simr_assert(pick >= 0, "no lane selected");
 
     // Active set: lanes parked at exactly the picked position.
-    const auto &tp = *threads_[static_cast<size_t>(pick)];
+    const auto &tp = *lanes_[static_cast<size_t>(pick)];
     uint64_t key = posKey(tp.callDepth(), tp.curBlock(), tp.curIdx());
     Mask active = 0;
     for (int lane = 0; lane < batchSize_; ++lane) {
         if (!(liveMask_ & (1u << lane)))
             continue;
-        const auto &t = *threads_[static_cast<size_t>(lane)];
+        const auto &t = *lanes_[static_cast<size_t>(lane)];
         if (posKey(t.callDepth(), t.curBlock(), t.curIdx()) == key)
             active |= (1u << lane);
     }
@@ -456,7 +457,7 @@ LockstepEngine::stepMinSp(DynOp &op)
                 if (obs_)
                     obs_->onSpinEscape(
                         lane,
-                        threads_[static_cast<size_t>(lane)]->curPc(),
+                        lanes_[static_cast<size_t>(lane)]->curPc(),
                         stats_.batchOps);
             }
         }

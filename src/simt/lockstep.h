@@ -31,6 +31,7 @@
 
 #include "trace/dynop.h"
 #include "trace/interp.h"
+#include "trace/replay.h"
 #include "trace/stream.h"
 
 namespace simr::simt
@@ -141,15 +142,30 @@ class LockstepEngine : public trace::DynStream
     using BatchProvider =
         std::function<int(std::vector<trace::ThreadInit> &)>;
 
+    /**
+     * @param cache trace cache the lanes replay from / capture into;
+     *        nullptr interprets every request live.
+     */
     LockstepEngine(const isa::Program &prog, ReconvPolicy policy,
                    int width, BatchProvider provider,
-                   SpinEscapeConfig spin = SpinEscapeConfig());
+                   SpinEscapeConfig spin = SpinEscapeConfig(),
+                   trace::TraceCache *cache = nullptr);
     ~LockstepEngine() override;
 
     bool next(trace::DynOp &op) override;
     uint64_t requestsCompleted() const override { return completed_; }
 
     const SimtStats &stats() const { return stats_; }
+
+    /** Trace-reuse accounting summed over this engine's lanes. */
+    trace::ReuseStats
+    reuseStats() const
+    {
+        trace::ReuseStats s;
+        for (const auto &l : lanes_)
+            s += l->reuseStats();
+        return s;
+    }
 
     /** True between batches (the last produced op finished a batch). */
     bool atBatchBoundary() const { return !batchActive_; }
@@ -186,7 +202,8 @@ class LockstepEngine : public trace::DynStream
 
     LockstepObserver *obs_ = nullptr;
 
-    std::vector<std::unique_ptr<trace::ThreadState>> threads_;
+    trace::ProgramIndex pi_;
+    std::vector<std::unique_ptr<trace::LaneExec>> lanes_;
     std::vector<trace::ThreadInit> inits_;  ///< reused across launches
     trace::Mask liveMask_ = 0;
     int batchSize_ = 0;

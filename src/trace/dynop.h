@@ -87,6 +87,27 @@ struct DynOp
     }
 };
 
+/**
+ * Pull interface for dynamic instruction streams. Lives next to DynOp
+ * (rather than in stream.h with ScalarStream) so that producers which
+ * must not depend on the interpreter -- the stream-replay classes in
+ * replay.h -- can implement it without an include cycle.
+ */
+class DynStream
+{
+  public:
+    virtual ~DynStream() = default;
+
+    /**
+     * Produce the next dynamic op.
+     * @return false when the stream is exhausted (op is untouched).
+     */
+    virtual bool next(DynOp &op) = 0;
+
+    /** Requests fully retired by ops produced so far. */
+    virtual uint64_t requestsCompleted() const = 0;
+};
+
 } // namespace simr::trace
 
 #endif // SIMR_TRACE_DYNOP_H

@@ -4,27 +4,26 @@ namespace simr::trace
 {
 
 ScalarStream::ScalarStream(const isa::Program &prog,
-                           RequestProvider provider)
-    : thread_(prog), provider_(std::move(provider))
+                           RequestProvider provider, TraceCache *cache)
+    : pi_(prog), lane_(pi_, cache), provider_(std::move(provider))
 {
 }
 
 bool
 ScalarStream::next(DynOp &op)
 {
-    if (!haveRequest_ || thread_.done()) {
-        ThreadInit init;
-        if (!provider_ || !provider_(init))
+    if (!haveRequest_ || lane_.done()) {
+        if (!provider_ || !provider_(init_))
             return false;
-        thread_.reset(init);
+        lane_.reset(init_);
         haveRequest_ = true;
-        if (thread_.done())
+        if (lane_.done())
             return false;
     }
 
     StepResult r;
-    bool first = thread_.dynCount() == 0;
-    thread_.step(r);
+    bool first = lane_.dynCount() == 0;
+    lane_.step(r);
 
     op.batchStart = first;
     op.si = r.si;
@@ -45,7 +44,7 @@ ScalarStream::next(DynOp &op)
         op.accessSize = 0;
         op.addrCount = 0;
     }
-    if (thread_.done()) {
+    if (lane_.done()) {
         op.endMask = 1;
         ++completed_;
     }

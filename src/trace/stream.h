@@ -16,25 +16,14 @@
 
 #include "trace/dynop.h"
 #include "trace/interp.h"
+#include "trace/replay.h"
 
 namespace simr::trace
 {
 
-/** Pull interface for dynamic instruction streams. */
-class DynStream
-{
-  public:
-    virtual ~DynStream() = default;
-
-    /**
-     * Produce the next dynamic op.
-     * @return false when the stream is exhausted (op is untouched).
-     */
-    virtual bool next(DynOp &op) = 0;
-
-    /** Requests fully retired by ops produced so far. */
-    virtual uint64_t requestsCompleted() const = 0;
-};
+// DynStream (the pull interface ScalarStream implements) lives in
+// dynop.h, next to DynOp, so the replay-backed streams can implement
+// it too without an include cycle.
 
 /**
  * Supplies the initial context of the next request a hardware thread
@@ -49,14 +38,24 @@ using RequestProvider = std::function<bool(ThreadInit &)>;
 class ScalarStream : public DynStream
 {
   public:
-    ScalarStream(const isa::Program &prog, RequestProvider provider);
+    /**
+     * @param cache trace cache to replay from / capture into; nullptr
+     *        runs every request through the live interpreter.
+     */
+    ScalarStream(const isa::Program &prog, RequestProvider provider,
+                 TraceCache *cache = nullptr);
 
     bool next(DynOp &op) override;
     uint64_t requestsCompleted() const override { return completed_; }
 
+    /** Trace-reuse accounting for this stream's requests. */
+    const ReuseStats &reuseStats() const { return lane_.reuseStats(); }
+
   private:
-    ThreadState thread_;
+    ProgramIndex pi_;
+    LaneExec lane_;
     RequestProvider provider_;
+    ThreadInit init_;        ///< reused across requests (no realloc)
     bool haveRequest_ = false;
     uint64_t completed_ = 0;
 };
