@@ -20,17 +20,32 @@
  *    the same way: live vs warm SimtStats / op counts / request counts
  *    must match exactly.
  *
+ *  - `--verify-compile` (the tier-1 ctest entry `replay_compile_gate`):
+ *    the superop-kernel matrix. For harness widths {1, 4} and SIMD
+ *    relocation {on, off}, every cell is run live, then cold +
+ *    warm-cursor with compilation disabled (no kernels anywhere), then
+ *    from a second cold start with compilation on: cold-kernels
+ *    (request-level kernels compile mid-run on dedup second hits and
+ *    replay per-lane and lane-major), warm-prime, warm-compile (stream
+ *    kernels built mid-lookup) and warm-compiled (superop replay only)
+ *    -- all bit-identical to live, plus a live vs warm-compiled
+ *    front-end sweep.
+ *
  *  - bench mode: measures two sweeps live vs cold vs warm and emits
  *    BENCH_trace.json. The headline is the *front-end* sweep -- the
  *    functional half of the simulator (request generation, batching,
  *    interpretation, lockstep grouping), which is what the caches
  *    remove; a warm re-run serves every cell straight from the stream
- *    cache. The full timing sweep is reported alongside: its warm
- *    speedup is bounded by the timing core's share of the run
- *    (reported transparently), while its bit-identity across live /
- *    cold / warm is what proves replay exact. Also reports the
- *    per-service dedup ratio (requests served by a trace captured
- *    from a *different* request). Exits nonzero if any cell diverges.
+ *    cache. The warm tier is split in two: warm-cursor (record-at-a-
+ *    time replay) and warm-compiled (superop kernels), with a
+ *    per-service speedup and compile-cost amortization table and a
+ *    ns/op micro-comparison of every executor tier. The full timing
+ *    sweep is reported alongside: its warm speedup is bounded by the
+ *    timing core's share of the run (reported transparently), while
+ *    its bit-identity across live / cold / warm is what proves replay
+ *    exact. Also reports the per-service dedup ratio (requests served
+ *    by a trace captured from a *different* request). Exits nonzero
+ *    if any cell diverges.
  */
 
 #include <chrono>
@@ -40,8 +55,12 @@
 
 #include "bench_common.h"
 #include "common/parallel.h"
+#include "mem/allocator.h"
 #include "simr/streamcache.h"
 #include "trace/capture.h"
+#include "trace/compile.h"
+#include "trace/replay.h"
+#include "trace/stream.h"
 
 using namespace simr;
 using namespace simr::bench;
@@ -64,6 +83,16 @@ sweepCells(const TimingOptions &opt)
     for (const auto &cfg : gateConfigs())
         for (const auto &name : svc::serviceNames())
             cells.push_back({name, cfg, opt});
+    return cells;
+}
+
+/** One service's cells under every config (per-service timings). */
+std::vector<Cell>
+serviceCells(const std::string &name, const TimingOptions &opt)
+{
+    std::vector<Cell> cells;
+    for (const auto &cfg : gateConfigs())
+        cells.push_back({name, cfg, opt});
     return cells;
 }
 
@@ -186,6 +215,235 @@ timedSweep(const std::vector<Cell> &cells, int threads, int reps,
     return runs;
 }
 
+/**
+ * Per-op step cost of every executor tier over one memc request and
+ * one 64-request scalar stream: live interpretation, record-at-a-time
+ * cursors, and the compiled superop kernels. Pins the satellite claim
+ * that hoisting the ReplayCursor bounds checks (and collapsing
+ * straight-line runs into superop records) lowers the per-op cost.
+ */
+struct MicroCosts
+{
+    double liveNs = 0;       ///< ThreadState::step
+    double cursorNs = 0;     ///< ReplayCursor::step
+    double compiledNs = 0;   ///< CompiledCursor::step
+    double streamNs = 0;     ///< ReplayStream::next
+    double cstreamNs = 0;    ///< CompiledStreamCursor::next
+};
+
+MicroCosts
+microStepCosts(uint64_t seed)
+{
+    MicroCosts m;
+    auto svcp = svc::buildService("memc");
+    if (svcp == nullptr)
+        return m;
+    trace::ProgramIndex pi(svcp->program());
+    mem::HeapAllocator alloc(mem::AllocPolicy::SimrAware);
+    auto reqs = genRequests(*svcp, 64, seed);
+    trace::ThreadInit init =
+        svc::makeThreadInit(*svcp, reqs[0], 0, 0, alloc);
+
+    // One captured request plus its compiled form.
+    trace::ThreadState live(pi.program());
+    trace::CaptureBuilder builder(pi);
+    live.reset(init);
+    builder.reset(init);
+    trace::StepResult r;
+    while (!live.done()) {
+        live.step(r);
+        builder.onStep(r);
+    }
+    auto t = builder.finish();
+    auto kt = trace::compileTrace(t);
+    const uint64_t n = t->opCount();
+    const int reps = static_cast<int>(
+        std::max<uint64_t>(1, 4'000'000 / std::max<uint64_t>(n, 1)));
+    volatile uint64_t sink = 0;
+
+    auto time_ns = [&](auto &&body) {
+        auto t0 = std::chrono::steady_clock::now();
+        for (int rep = 0; rep < reps; ++rep)
+            body();
+        return secondsSince(t0) * 1e9 /
+            (static_cast<double>(n) * reps);
+    };
+
+    m.liveNs = time_ns([&] {
+        live.reset(init);
+        uint64_t acc = 0;
+        while (!live.done()) {
+            live.step(r);
+            acc += r.pc + r.addr;
+        }
+        sink = sink + acc;
+    });
+    trace::ReplayCursor cursor(pi);
+    m.cursorNs = time_ns([&] {
+        cursor.start(t, init);
+        uint64_t acc = 0;
+        while (!cursor.done()) {
+            cursor.step(r);
+            acc += r.pc + r.addr;
+        }
+        sink = sink + acc;
+    });
+    trace::CompiledCursor compiled(pi);
+    m.compiledNs = time_ns([&] {
+        compiled.start(kt, init);
+        uint64_t acc = 0;
+        while (!compiled.done()) {
+            compiled.step(r);
+            acc += r.pc + r.addr;
+        }
+        sink = sink + acc;
+    });
+
+    // Stream level: one 64-request scalar stream and its compiled form.
+    trace::ScalarStream sl(
+        svcp->program(),
+        makeScalarProvider(*svcp, reqs, 0, mem::AllocPolicy::SimrAware),
+        nullptr);
+    trace::CapturingStream cap(svcp->program(), sl);
+    trace::DynOp op;
+    while (cap.next(op)) {
+    }
+    auto st = cap.take();
+    if (st == nullptr)
+        return m;
+    auto kst = trace::compileStream(st);
+    const uint64_t sn = st->opCount();
+    const int sreps = static_cast<int>(
+        std::max<uint64_t>(1, 4'000'000 / std::max<uint64_t>(sn, 1)));
+    auto time_stream_ns = [&](auto &&body) {
+        auto t0 = std::chrono::steady_clock::now();
+        for (int rep = 0; rep < sreps; ++rep)
+            body();
+        return secondsSince(t0) * 1e9 /
+            (static_cast<double>(sn) * sreps);
+    };
+    m.streamNs = time_stream_ns([&] {
+        trace::ReplayStream rs(svcp->program(), st);
+        uint64_t acc = 0;
+        while (rs.next(op))
+            acc += op.pc;
+        sink = sink + acc;
+    });
+    m.cstreamNs = time_stream_ns([&] {
+        trace::CompiledStreamCursor cs;
+        cs.start(kst, pi);
+        uint64_t acc = 0;
+        while (cs.next(op))
+            acc += op.pc;
+        sink = sink + acc;
+    });
+    return m;
+}
+
+/**
+ * The superop-kernel bit-identity matrix: {live, cold, warm-cursor,
+ * prime, warm-compiled} x threads {1, 4} x SIMD {on, off}, everything
+ * compared against the live sweep, plus a front-end live vs
+ * warm-compiled pass.
+ */
+int
+runVerifyCompile(TimingOptions opt)
+{
+    if (opt.requests > 128)
+        opt.requests = 128;
+
+    TimingOptions live_opt = opt;
+    live_opt.useTraceCache = false;
+    TimingOptions cached_opt = opt;
+    cached_opt.useTraceCache = true;
+
+    bool all_identical = true;
+    for (int threads : {1, 4}) {
+        auto live = runCells(sweepCells(live_opt), threads);
+        for (int simd : {1, 0}) {
+            trace::setSimdEnabled(simd != 0);
+            auto cells = sweepCells(cached_opt);
+
+            // Cursor tier: capture, then replay with compilation off,
+            // so no kernel exists anywhere.
+            trace::setCompileEnabled(false);
+            clearCaches();
+            auto cold = runCells(cells, threads);
+            auto warm_cursor = runCells(cells, threads);
+
+            // Compiled tier, from a fresh cold start with compilation
+            // on. The cold pass itself exercises the request-level
+            // kernels: popular dedup keys reach their second hit
+            // mid-run, compile, and the rest of the sweep replays them
+            // per lane (CompiledCursor) and lane-major in uniform
+            // batches (TraceBatchKernel, the SIMD relocation path).
+            // The two warm passes then walk the stream entries to
+            // their second hit -- warm-compile builds the stream
+            // kernels mid-lookup and replays through them, and
+            // warm-compiled replays compiled-only.
+            trace::setCompileEnabled(true);
+            clearCaches();
+            auto cold_kernels = runCells(cells, threads);
+            auto warm_prime = runCells(cells, threads);
+            auto warm_compile = runCells(cells, threads);
+            auto warm_compiled = runCells(cells, threads);
+
+            std::vector<std::string> diverged;
+            bool ok =
+                sameSweep(cells, live, cold, "cold", &diverged) &
+                sameSweep(cells, live, warm_cursor, "warm-cursor",
+                          &diverged) &
+                sameSweep(cells, live, cold_kernels, "cold-kernels",
+                          &diverged) &
+                sameSweep(cells, live, warm_prime, "warm-prime",
+                          &diverged) &
+                sameSweep(cells, live, warm_compile, "warm-compile",
+                          &diverged) &
+                sameSweep(cells, live, warm_compiled, "warm-compiled",
+                          &diverged);
+            std::printf("threads=%d simd=%s %s", threads,
+                        simd ? "on" : "off",
+                        ok ? "identical" : "DIVERGED:");
+            for (const auto &s : diverged)
+                std::printf(" %s", s.c_str());
+            std::printf("\n");
+            all_identical = all_identical && ok;
+        }
+    }
+    trace::setSimdEnabled(true);
+
+    // Front-end sweep: live vs warm-compiled. The loops above left the
+    // stream cache fully populated and compiled, so every unit drains
+    // through its CompiledStream aggregates.
+    {
+        double secs = 0;
+        auto fe_live = frontEndSweep(sweepCells(live_opt), &secs);
+        auto fe_warm = frontEndSweep(sweepCells(cached_opt), &secs);
+        std::vector<std::string> diverged;
+        bool ok = sameFrontEndSweep(sweepCells(cached_opt), fe_live,
+                                    fe_warm, "front-end", &diverged);
+        std::printf("front-end %s", ok ? "identical" : "DIVERGED:");
+        for (const auto &s : diverged)
+            std::printf(" %s", s.c_str());
+        std::printf("\n");
+        all_identical = all_identical && ok;
+    }
+
+    const trace::CompileCounters cc = trace::compileCounters();
+    std::printf("replay_compile_gate: %s (14 services x 4 configs x "
+                "{live, cold, warm-cursor, cold-kernels, warm-prime, "
+                "warm-compile, warm-compiled} x "
+                "threads {1,4} x simd {on,off}, %d requests; "
+                "%llu trace + %llu stream kernels, simd %s)\n",
+                all_identical ? "PASS" : "FAIL", opt.requests,
+                static_cast<unsigned long long>(cc.compiledTraces),
+                static_cast<unsigned long long>(cc.compiledStreams),
+                trace::simdAvailable() ? "available" :
+                trace::simdCompiledIn() ? "compiled in, no AVX2 cpu"
+                                        : "not compiled in");
+    return all_identical ? 0 : 1;
+}
+
 int
 runVerify(TimingOptions opt)
 {
@@ -258,11 +516,40 @@ runBench(const TimingOptions &opt)
     auto cached_cells = sweepCells(cached_opt);
 
     // Front-end sweep (the headline): the functional half of every
-    // cell, which a warm stream cache serves without executing.
-    double fe_live_secs = 0, fe_cold_secs = 0, fe_warm_secs = 0;
+    // cell, which a warm stream cache serves without executing. The
+    // warm tier is measured twice: cursor replay (compilation off) and
+    // compiled replay (superop kernels, built by an untimed priming
+    // pass so the warm numbers never carry one-time compile cost).
+    double fe_live_secs = 0, fe_cold_secs = 0;
+    double fe_cursor_secs = 0, fe_warm_secs = 0;
     auto fe_live = timedFrontEndSweep(live_cells, 2, &fe_live_secs);
+    trace::setCompileEnabled(false);
     clearCaches();
     auto fe_cold = frontEndSweep(cached_cells, &fe_cold_secs);
+    auto fe_cursor = timedFrontEndSweep(cached_cells, 2, &fe_cursor_secs);
+
+    // Per-service compiled-vs-cursor split, while no kernels exist yet:
+    // cursor timings first (compilation off), then per-service priming
+    // (attributing compile time to the service it lowers) and compiled
+    // timings.
+    const auto &names = svc::serviceNames();
+    std::vector<double> svc_cursor(names.size(), 0.0);
+    std::vector<double> svc_compiled(names.size(), 0.0);
+    std::vector<double> svc_compile(names.size(), 0.0);
+    for (size_t i = 0; i < names.size(); ++i)
+        timedFrontEndSweep(serviceCells(names[i], cached_opt), 2,
+                           &svc_cursor[i]);
+    trace::setCompileEnabled(true);
+    for (size_t i = 0; i < names.size(); ++i) {
+        auto cells_i = serviceCells(names[i], cached_opt);
+        const uint64_t us0 = trace::compileCounters().compileUs;
+        double prime_secs = 0;
+        frontEndSweep(cells_i, &prime_secs);
+        svc_compile[i] =
+            static_cast<double>(trace::compileCounters().compileUs -
+                                us0) * 1e-6;
+        timedFrontEndSweep(cells_i, 2, &svc_compiled[i]);
+    }
     auto fe_warm = timedFrontEndSweep(cached_cells, 2, &fe_warm_secs);
 
     // Full timing sweep, measured from its own cold start.
@@ -281,6 +568,8 @@ runBench(const TimingOptions &opt)
         sameSweep(cached_cells, live, warm, "warm", &diverged) &
         sameFrontEndSweep(cached_cells, fe_live, fe_cold, "fe-cold",
                           &diverged) &
+        sameFrontEndSweep(cached_cells, fe_live, fe_cursor, "fe-cursor",
+                          &diverged) &
         sameFrontEndSweep(cached_cells, fe_live, fe_warm, "fe-warm",
                           &diverged);
     for (const auto &s : diverged)
@@ -289,7 +578,6 @@ runBench(const TimingOptions &opt)
     // Dedup per service, from the cold sweep: requests served by a
     // trace captured from a different request (zipf key popularity).
     // Cells of all four configs of a service fold into one ratio.
-    const auto &names = svc::serviceNames();
     std::vector<double> dedup(names.size(), 0.0);
     for (size_t i = 0; i < cached_cells.size(); ++i) {
         const auto &r = cold[i].reuse;
@@ -308,9 +596,41 @@ runBench(const TimingOptions &opt)
            Table::mult(1.0)});
     f.row({"cold (capture)", Table::num(fe_cold_secs, 2),
            Table::mult(fe_live_secs / fe_cold_secs)});
-    f.row({"warm (replay)", Table::num(fe_warm_secs, 2),
+    f.row({"warm-cursor (replay)", Table::num(fe_cursor_secs, 2),
+           Table::mult(fe_live_secs / fe_cursor_secs)});
+    f.row({"warm-compiled (superop)", Table::num(fe_warm_secs, 2),
            Table::mult(fe_live_secs / fe_warm_secs)});
     f.print();
+
+    // Per-service compiled-vs-cursor: the warm speedup the superop
+    // kernels add on top of cursor replay, and how many warm re-runs
+    // amortize the one-time compile cost.
+    Table c("Superop kernels: warm-compiled vs warm-cursor per service "
+            "(4 configs each; amortize = warm re-runs to repay compile)");
+    c.header({"service", "cursor s", "compiled s", "speedup",
+              "compile s", "amortize"});
+    for (size_t i = 0; i < names.size(); ++i) {
+        double saved = svc_cursor[i] - svc_compiled[i];
+        std::string amort = saved > 1e-9 ?
+            Table::num(svc_compile[i] / saved, 1) : "-";
+        c.row({names[i], Table::num(svc_cursor[i], 4),
+               Table::num(svc_compiled[i], 4),
+               Table::mult(svc_compiled[i] > 0 ?
+                           svc_cursor[i] / svc_compiled[i] : 0.0),
+               Table::num(svc_compile[i], 4), amort});
+    }
+    c.print();
+
+    MicroCosts micro = microStepCosts(opt.seed);
+    Table u("Per-op step cost (memc; request tier over one trace, "
+            "stream tier over a 64-request scalar stream)");
+    u.header({"executor", "ns/op"});
+    u.row({"interpreter (live)", Table::num(micro.liveNs, 2)});
+    u.row({"ReplayCursor", Table::num(micro.cursorNs, 2)});
+    u.row({"CompiledCursor", Table::num(micro.compiledNs, 2)});
+    u.row({"ReplayStream", Table::num(micro.streamNs, 2)});
+    u.row({"CompiledStreamCursor", Table::num(micro.cstreamNs, 2)});
+    u.print();
 
     Table t("Full timing sweep (front end + timing core; warm speedup "
             "bounded by the core's share)");
@@ -341,26 +661,55 @@ runBench(const TimingOptions &opt)
     // Headline live/cold/warm seconds and speedups are the front-end
     // sweep (what the caches accelerate); timing_* is the full timing
     // sweep alongside.
+    const trace::CompileCounters cc = trace::compileCounters();
     std::string json = "{\"bench\": \"trace_cache\", \"services\": 14, "
         "\"configs\": 4, \"requests\": " + std::to_string(opt.requests) +
         ", \"live_seconds\": " + std::to_string(fe_live_secs) +
         ", \"cold_seconds\": " + std::to_string(fe_cold_secs) +
+        ", \"warm_cursor_seconds\": " + std::to_string(fe_cursor_secs) +
         ", \"warm_seconds\": " + std::to_string(fe_warm_secs) +
         ", \"timing_live_seconds\": " + std::to_string(live_secs) +
         ", \"timing_cold_seconds\": " + std::to_string(cold_secs) +
         ", \"timing_warm_seconds\": " + std::to_string(warm_secs);
-    char buf[200];
+    char buf[256];
     std::snprintf(buf, sizeof(buf),
-                  ", \"speedup_cold\": %.2f, \"speedup_warm\": %.2f, "
+                  ", \"speedup_cold\": %.2f, "
+                  "\"speedup_warm_cursor\": %.2f, "
+                  "\"speedup_warm\": %.2f, "
+                  "\"compiled_vs_cursor\": %.2f, "
                   "\"timing_speedup_cold\": %.2f, "
                   "\"timing_speedup_warm\": %.2f, "
                   "\"max_dedup_ratio\": %.4f",
                   fe_live_secs / fe_cold_secs,
+                  fe_live_secs / fe_cursor_secs,
                   fe_live_secs / fe_warm_secs,
+                  fe_warm_secs > 0 ? fe_cursor_secs / fe_warm_secs : 0.0,
                   live_secs / cold_secs, live_secs / warm_secs,
                   max_dedup);
     json += buf;
-    json += ", \"per_service_dedup\": [";
+    std::snprintf(buf, sizeof(buf),
+                  ", \"micro_ns_per_op\": {\"live\": %.2f, "
+                  "\"replay_cursor\": %.2f, \"compiled_cursor\": %.2f, "
+                  "\"replay_stream\": %.2f, \"compiled_stream\": %.2f}",
+                  micro.liveNs, micro.cursorNs, micro.compiledNs,
+                  micro.streamNs, micro.cstreamNs);
+    json += buf;
+    json += ", \"per_service_compiled\": [";
+    for (size_t i = 0; i < names.size(); ++i) {
+        double saved = svc_cursor[i] - svc_compiled[i];
+        std::snprintf(buf, sizeof(buf), "{\"name\": \"%s\", "
+                      "\"cursor_seconds\": %.4f, "
+                      "\"compiled_seconds\": %.4f, "
+                      "\"speedup\": %.2f, \"compile_seconds\": %.4f, "
+                      "\"amortize_reps\": %.1f}", names[i].c_str(),
+                      svc_cursor[i], svc_compiled[i],
+                      svc_compiled[i] > 0 ?
+                          svc_cursor[i] / svc_compiled[i] : 0.0,
+                      svc_compile[i],
+                      saved > 1e-9 ? svc_compile[i] / saved : -1.0);
+        json += (i ? ", " : "") + std::string(buf);
+    }
+    json += "], \"per_service_dedup\": [";
     for (size_t i = 0; i < names.size(); ++i) {
         std::snprintf(buf, sizeof(buf), "{\"name\": \"%s\", "
                       "\"dedup_ratio\": %.4f}", names[i].c_str(),
@@ -371,6 +720,10 @@ runBench(const TimingOptions &opt)
         ", \"cache_bytes\": " + std::to_string(bytes) +
         ", \"stream_entries\": " + std::to_string(stream_entries) +
         ", \"stream_bytes\": " + std::to_string(stream_bytes) +
+        ", \"compiled_traces\": " + std::to_string(cc.compiledTraces) +
+        ", \"compiled_streams\": " + std::to_string(cc.compiledStreams) +
+        ", \"compiled_ops\": " + std::to_string(cc.compiledOps) +
+        ", \"simd_lanes\": " + std::to_string(cc.simdLanes) +
         ", \"identical\": ";
     json += identical ? "true" : "false";
     json += "}";
@@ -389,14 +742,20 @@ int
 main(int argc, char **argv)
 {
     bool verify_only = false;
-    for (int i = 1; i < argc; ++i)
+    bool verify_compile = false;
+    for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--verify") == 0)
             verify_only = true;
+        if (std::strcmp(argv[i], "--verify-compile") == 0)
+            verify_compile = true;
+    }
 
     RunScale scale = RunScale::fromEnv();
     TimingOptions opt;
     opt.requests = static_cast<int>(scale.timingRequests);
     opt.seed = scale.seed;
 
+    if (verify_compile)
+        return runVerifyCompile(opt);
     return verify_only ? runVerify(opt) : runBench(opt);
 }

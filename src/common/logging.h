@@ -57,6 +57,19 @@ void informImpl(const char *fmt, ...);
         }                                                                  \
     } while (0)
 
+/**
+ * Debug-only assert for per-op hot paths: the replay cursors validate
+ * their invariants once at construction (simr_assert) and guard each
+ * step with this, which compiles away in release builds (NDEBUG).
+ */
+#ifndef NDEBUG
+#define simr_dassert(cond, ...) simr_assert(cond, __VA_ARGS__)
+#else
+#define simr_dassert(cond, ...) \
+    do {                        \
+    } while (0)
+#endif
+
 } // namespace simr
 
 #endif // SIMR_COMMON_LOGGING_H

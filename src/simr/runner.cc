@@ -8,6 +8,7 @@
 #include "common/parallel.h"
 #include "obs/divergence.h"
 #include "simr/streamcache.h"
+#include "trace/compile.h"
 #include "trace/replay.h"
 
 namespace simr
@@ -134,7 +135,7 @@ struct FrontEnd
                 if (u.capturer)
                     scache->insert(
                         u.key,
-                        StreamEntry{u.capturer->take(),
+                        StreamEntry{u.capturer->take(), nullptr,
                                     u.engine ? u.engine->stats()
                                              : simt::SimtStats{}});
             }
@@ -194,7 +195,7 @@ buildFrontEnd(const svc::Service &svc, const core::CoreConfig &cfg,
             StreamEntry ent;
             if (fe.scache != nullptr && fe.scache->lookup(u.key, &ent)) {
                 u.replay = std::make_unique<trace::ReplayStream>(
-                    svc.program(), ent.trace);
+                    svc.program(), ent.trace, ent.compiled);
                 u.cachedStats = ent.stats;
                 u.stream = u.replay.get();
                 continue;
@@ -227,7 +228,7 @@ buildFrontEnd(const svc::Service &svc, const core::CoreConfig &cfg,
             StreamEntry ent;
             if (fe.scache != nullptr && fe.scache->lookup(u.key, &ent)) {
                 u.replay = std::make_unique<trace::ReplayStream>(
-                    svc.program(), ent.trace);
+                    svc.program(), ent.trace, ent.compiled);
                 u.stream = u.replay.get();
             } else {
                 allHit = false;
@@ -382,7 +383,8 @@ measureEfficiency(const svc::Service &svc, batch::Policy policy,
         while (cap.next(op)) {
             // Drain: stats accumulate inside the engine.
         }
-        scache->insert(key, StreamEntry{cap.take(), engine.stats()});
+        scache->insert(key,
+                       StreamEntry{cap.take(), nullptr, engine.stats()});
     } else {
         while (engine.next(op)) {
             // Drain: stats accumulate inside the engine.
@@ -400,10 +402,17 @@ runFrontEnd(const svc::Service &svc, const core::CoreConfig &cfg,
     FrontEnd fe = buildFrontEnd(svc, cfg, opt);
     FrontEndRun run;
     trace::DynOp op;
-    for (trace::DynStream *s : fe.streams()) {
-        while (s->next(op))
+    for (FrontEndUnit &u : fe.units) {
+        // Compiled warm streams are drained in O(1) from the kernel's
+        // precomputed aggregates -- there is no consumer here to feed,
+        // so materializing each op only to count it is pure overhead.
+        if (u.replay != nullptr && u.replay->drainCompiled(&run.dynOps)) {
+            run.requests += u.replay->requestsCompleted();
+            continue;
+        }
+        while (u.stream->next(op))
             ++run.dynOps;
-        run.requests += s->requestsCompleted();
+        run.requests += u.stream->requestsCompleted();
     }
     fe.collect(&run.simt, &run.reuse);
     return run;
@@ -497,6 +506,10 @@ recordTraceCacheStats()
             static_cast<double>(cache->entries()));
         reg->gauge("trace.evictions")->set(
             static_cast<double>(cache->evictions()));
+        reg->gauge("trace.compiled_entries")->set(
+            static_cast<double>(cache->compiledEntries()));
+        reg->gauge("trace.compiled_bytes")->set(
+            static_cast<double>(cache->compiledBytes()));
     }
     if (StreamCache *scache = StreamCache::process()) {
         reg->counter("trace.stream_hits")->inc(scache->hits());
@@ -507,7 +520,17 @@ recordTraceCacheStats()
             static_cast<double>(scache->entries()));
         reg->gauge("trace.stream_evictions")->set(
             static_cast<double>(scache->evictions()));
+        reg->gauge("trace.stream_compiled_entries")->set(
+            static_cast<double>(scache->compiledEntries()));
+        reg->gauge("trace.stream_compiled_bytes")->set(
+            static_cast<double>(scache->compiledBytes()));
     }
+    const trace::CompileCounters cc = trace::compileCounters();
+    reg->counter("trace.compiled_traces")->inc(cc.compiledTraces);
+    reg->counter("trace.compiled_streams")->inc(cc.compiledStreams);
+    reg->counter("trace.compile_us")->inc(cc.compileUs);
+    reg->counter("trace.compiled_ops")->inc(cc.compiledOps);
+    reg->counter("trace.simd_lanes")->inc(cc.simdLanes);
 }
 
 } // namespace simr

@@ -43,6 +43,11 @@ namespace simr
 struct StreamEntry
 {
     std::shared_ptr<const trace::StreamTrace> trace;
+    /**
+     * Superop kernel over `trace`, built on the entry's second hit
+     * (null until then, or when compilation is disabled).
+     */
+    std::shared_ptr<const trace::CompiledStream> compiled;
     /** Engine stats at capture (zero-valued for scalar/SMT streams). */
     simt::SimtStats stats{};
 };
@@ -81,6 +86,12 @@ class StreamCache
     uint64_t hits() const;
     uint64_t misses() const;
 
+    /** @name Superop-kernel residency (subset of the totals above). */
+    /// @{
+    uint64_t compiledEntries() const;
+    uint64_t compiledBytes() const;
+    /// @}
+
     /**
      * The process-wide cache, or nullptr when trace reuse is disabled
      * via SIMR_TRACE_CACHE=0. Budget: SIMR_STREAM_CACHE_MB (default
@@ -94,6 +105,7 @@ class StreamCache
     struct Entry
     {
         StreamEntry payload;
+        uint32_t hits = 0;
         std::list<std::string>::iterator lru;
     };
 
@@ -108,6 +120,8 @@ class StreamCache
     uint64_t evictions_ = 0;
     uint64_t hits_ = 0;
     uint64_t misses_ = 0;
+    uint64_t compiledEntries_ = 0;
+    uint64_t compiledBytes_ = 0;
 };
 
 } // namespace simr

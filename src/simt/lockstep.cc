@@ -114,6 +114,42 @@ LockstepEngine::launchNext()
     boostLane_ = -1;
     boostLeft_ = 0;
     prevActive_ = 0;
+
+    // Lane-major superop eligibility: a fully-live batch whose lanes all
+    // replay shape-equal compiled traces can never diverge (the shape
+    // fingerprint covers the op sequence, branch outcomes and dependence
+    // columns), so the whole batch is handed to the batch kernel and the
+    // per-op grouping below it is skipped.
+    kernelBatch_ = false;
+    if (trace::compileEnabled()) {
+        const Mask full = batchSize_ == trace::kMaxBatch ?
+            ~Mask{0} : ((Mask{1} << batchSize_) - 1);
+        if (liveMask_ == full) {
+            const trace::CompiledTrace *rep = nullptr;
+            bool ok = true;
+            trace::TraceBatchKernel::LaneSrc srcs[trace::kMaxBatch];
+            for (int i = 0; i < batchSize_; ++i) {
+                const auto &l = *lanes_[static_cast<size_t>(i)];
+                if (!l.compiledReplaying()) {
+                    ok = false;
+                    break;
+                }
+                const trace::CompiledTrace *k = l.compiledCursor().kernel();
+                if (rep == nullptr)
+                    rep = k;
+                else if (k != rep &&
+                         (k->shapeFingerprint() != rep->shapeFingerprint() ||
+                          k->opCount() != rep->opCount()))
+                    ok = false;
+                srcs[i] = {l.compiledCursor().addrCol(),
+                           l.compiledCursor().shifts()};
+            }
+            if (ok && rep != nullptr && rep->opCount() > 0) {
+                bkernel_.start(rep, srcs, batchSize_, pi_);
+                kernelBatch_ = true;
+            }
+        }
+    }
     return true;
 }
 
@@ -200,6 +236,31 @@ LockstepEngine::next(DynOp &op)
         if (!launchNext())
             return false;
         fresh = true;
+    }
+    if (kernelBatch_) {
+        // Uniform batch on the superop fast path: the kernel emits the
+        // op; the engine keeps its usual duties (stats, observer, lane
+        // retirement) in the exact order execGroup performs them.
+        bkernel_.step(op);
+        ++stats_.batchOps;
+        stats_.scalarOps += static_cast<uint64_t>(batchSize_);
+        stats_.maskedSlots += static_cast<uint64_t>(width_ - batchSize_);
+        if (obs_)
+            obs_->onOp(op, width_, stats_.batchOps);
+        if (bkernel_.done()) {
+            bkernel_.finish();
+            for (int i = 0; i < batchSize_; ++i)
+                lanes_[static_cast<size_t>(i)]->finishBatchReplay();
+            completed_ += static_cast<uint64_t>(batchSize_);
+            liveMask_ = 0;
+        }
+        op.batchStart = fresh;
+        if (liveMask_ == 0) {
+            batchActive_ = false;
+            if (obs_)
+                obs_->onBatchEnd(stats_.batches - 1, stats_.batchOps);
+        }
+        return true;
     }
     bool produced = policy_ == ReconvPolicy::StackIpdom ?
         stepStack(op) : stepMinSp(op);

@@ -214,6 +214,13 @@ class LockstepEngine : public trace::DynStream
     // Stack-IPDOM state.
     std::vector<StackEntry> stack_;
 
+    // Lane-major superop replay: when every lane of a fresh batch
+    // replays a shape-equal compiled trace, the batch can never
+    // diverge, so the whole grouping/divergence machinery below is
+    // bypassed and the batch kernel emits the ops directly.
+    trace::TraceBatchKernel bkernel_;
+    bool kernelBatch_ = false;
+
     // Batch-op-space dependence tracking: producer indices per register
     // (the per-thread distances from the interpreter do not survive the
     // interleaving of serialized divergent paths).

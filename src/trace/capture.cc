@@ -4,6 +4,7 @@
 #include "common/logging.h"
 #include "common/rng.h"
 #include "isa/builder.h"
+#include "trace/compile.h"
 
 namespace simr::trace
 {
@@ -357,25 +358,46 @@ TraceCache::~TraceCache() = default;
 
 std::shared_ptr<const CapturedTrace>
 TraceCache::lookup(uint64_t fingerprint, const ThreadInit &init,
-                   bool *dedup)
+                   bool *dedup, std::shared_ptr<const CompiledTrace> *compiled)
 {
     std::lock_guard<std::mutex> lock(mu_);
     for (int tier = 1; tier <= 3; ++tier) {
         auto it = map_.find(makeKey(fingerprint, init, tier));
         if (it == map_.end())
             continue;
-        touch(it->second);
+        Entry &e = it->second;
+        touch(e);
         ++hits_;
-        bool d = it->second.trace->frame().reqId != init.reqId;
+        ++e.hits;
+        bool d = e.trace->frame().reqId != init.reqId;
         if (d)
             ++dedupHits_;
         if (dedup)
             *dedup = d;
-        return it->second.trace;
+        if (compiled != nullptr) {
+            // Compile on the second hit: the first hit proved reuse, so
+            // the one-time lowering cost amortizes, while single-hit
+            // traces never pay it. The entry was just touched to the
+            // LRU back, so eviction below can free other entries but
+            // never this one.
+            if (e.compiled == nullptr && e.hits >= 2 && compileEnabled()) {
+                e.compiled = compileTrace(e.trace);
+                bytes_ += e.compiled->byteSize();
+                compiledBytes_ += e.compiled->byteSize();
+                ++compiledEntries_;
+                evictOverBudget();
+            }
+            // Honour the runtime toggle even for entries compiled
+            // earlier: a disabled process must replay via the cursor.
+            *compiled = compileEnabled() ? e.compiled : nullptr;
+        }
+        return e.trace;
     }
     ++misses_;
     if (dedup)
         *dedup = false;
+    if (compiled != nullptr)
+        *compiled = nullptr;
     return nullptr;
 }
 
@@ -395,7 +417,7 @@ TraceCache::insert(uint64_t fingerprint, const ThreadInit &init,
         return;
     }
     lru_.push_back(k);
-    Entry e{std::move(trace), std::prev(lru_.end())};
+    Entry e{std::move(trace), nullptr, 0, std::prev(lru_.end())};
     bytes_ += e.trace->byteSize();
     map_.emplace(std::move(k), std::move(e));
     evictOverBudget();
@@ -416,6 +438,11 @@ TraceCache::evictOverBudget()
         auto it = map_.find(lru_.front());
         simr_assert(it != map_.end(), "LRU entry missing from the map");
         bytes_ -= it->second.trace->byteSize();
+        if (it->second.compiled != nullptr) {
+            bytes_ -= it->second.compiled->byteSize();
+            compiledBytes_ -= it->second.compiled->byteSize();
+            --compiledEntries_;
+        }
         map_.erase(it);
         lru_.pop_front();
         ++evictions_;
@@ -429,6 +456,8 @@ TraceCache::clear()
     map_.clear();
     lru_.clear();
     bytes_ = 0;
+    compiledEntries_ = 0;
+    compiledBytes_ = 0;
 }
 
 uint64_t
@@ -450,6 +479,20 @@ TraceCache::evictions() const
 {
     std::lock_guard<std::mutex> lock(mu_);
     return evictions_;
+}
+
+uint64_t
+TraceCache::compiledEntries() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return compiledEntries_;
+}
+
+uint64_t
+TraceCache::compiledBytes() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return compiledBytes_;
 }
 
 uint64_t

@@ -63,6 +63,8 @@
 namespace simr::trace
 {
 
+class CompiledTrace;
+
 namespace detail
 {
 
@@ -377,9 +379,18 @@ class TraceCache
      * Tries the canonical tier first, then per-frame, then exact.
      * Sets `*dedup` when the hit was captured from a different request
      * than `init` describes.
+     *
+     * When `compiled` is non-null, the caller wants the entry's superop
+     * kernel as well: an entry is compiled (under the cache lock, once)
+     * on its second hit -- the first hit proves reuse, so compile time
+     * is never spent on single-use traces and a cold sweep's first pass
+     * is unaffected. The kernel's bytes count against the budget and
+     * are evicted with the entry. `*compiled` stays null on the first
+     * hit or when compilation is disabled.
      */
     std::shared_ptr<const CapturedTrace>
-    lookup(uint64_t fingerprint, const ThreadInit &init, bool *dedup);
+    lookup(uint64_t fingerprint, const ThreadInit &init, bool *dedup,
+           std::shared_ptr<const CompiledTrace> *compiled = nullptr);
 
     /**
      * Insert a finished capture under the strongest tier its taint
@@ -397,6 +408,12 @@ class TraceCache
     uint64_t entries() const;
     size_t budgetBytes() const { return budget_; }
     uint64_t evictions() const;
+
+    /** @name Superop-kernel residency (subset of the totals above). */
+    /// @{
+    uint64_t compiledEntries() const;
+    uint64_t compiledBytes() const;
+    /// @}
 
     /** @name Whole-cache reuse totals (every lookup ever made). */
     /// @{
@@ -441,6 +458,9 @@ class TraceCache
     struct Entry
     {
         std::shared_ptr<const CapturedTrace> trace;
+        /** Superop kernel, built on the entry's second hit. */
+        std::shared_ptr<const CompiledTrace> compiled;
+        uint32_t hits = 0;
         std::list<Key>::iterator lru;
     };
 
@@ -458,6 +478,8 @@ class TraceCache
     uint64_t hits_ = 0;
     uint64_t misses_ = 0;
     uint64_t dedupHits_ = 0;
+    uint64_t compiledEntries_ = 0;
+    uint64_t compiledBytes_ = 0;
 };
 
 } // namespace simr::trace

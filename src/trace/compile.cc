@@ -1,0 +1,296 @@
+#include "trace/compile.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "trace/replay.h"
+
+namespace simr::trace
+{
+
+// ---------------------------------------------------------------------------
+// Runtime toggles and counters
+
+namespace
+{
+
+bool
+envFlag(const char *name, bool dflt)
+{
+    const char *v = std::getenv(name);
+    if (v == nullptr || *v == '\0')
+        return dflt;
+    return !(v[0] == '0' && v[1] == '\0');
+}
+
+std::atomic<bool> gCompileEnabled{envFlag("SIMR_TRACE_COMPILE", true)};
+std::atomic<bool> gSimdEnabled{envFlag("SIMR_SIMD", true)};
+
+struct Counters
+{
+    std::atomic<uint64_t> compiledTraces{0};
+    std::atomic<uint64_t> compiledStreams{0};
+    std::atomic<uint64_t> compileUs{0};
+    std::atomic<uint64_t> compiledOps{0};
+    std::atomic<uint64_t> simdLanes{0};
+};
+
+Counters gCounters;
+
+using Clock = std::chrono::steady_clock;
+
+uint64_t
+usSince(Clock::time_point t0)
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            Clock::now() - t0)
+            .count());
+}
+
+/** FNV-1a over a raw byte range. */
+uint64_t
+fnv1a(uint64_t h, const void *data, size_t bytes)
+{
+    const auto *p = static_cast<const uint8_t *>(data);
+    for (size_t i = 0; i < bytes; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+template <typename T>
+uint64_t
+fnv1aCol(uint64_t h, const std::vector<T> &col)
+{
+    return fnv1a(h, col.data(), col.size() * sizeof(T));
+}
+
+} // namespace
+
+bool compileEnabled() { return gCompileEnabled.load(std::memory_order_relaxed); }
+
+void
+setCompileEnabled(bool on)
+{
+    gCompileEnabled.store(on, std::memory_order_relaxed);
+}
+
+bool
+simdCompiledIn()
+{
+#ifdef SIMR_SIMD_BUILD
+    return true;
+#else
+    return false;
+#endif
+}
+
+bool
+simdAvailable()
+{
+#ifdef SIMR_SIMD_BUILD
+    static const bool avail = __builtin_cpu_supports("avx2");
+    return avail;
+#else
+    return false;
+#endif
+}
+
+bool
+simdEnabled()
+{
+    return simdAvailable() && gSimdEnabled.load(std::memory_order_relaxed);
+}
+
+void
+setSimdEnabled(bool on)
+{
+    gSimdEnabled.store(on, std::memory_order_relaxed);
+}
+
+CompileCounters
+compileCounters()
+{
+    CompileCounters c;
+    c.compiledTraces = gCounters.compiledTraces.load(std::memory_order_relaxed);
+    c.compiledStreams =
+        gCounters.compiledStreams.load(std::memory_order_relaxed);
+    c.compileUs = gCounters.compileUs.load(std::memory_order_relaxed);
+    c.compiledOps = gCounters.compiledOps.load(std::memory_order_relaxed);
+    c.simdLanes = gCounters.simdLanes.load(std::memory_order_relaxed);
+    return c;
+}
+
+void
+addCompiledOps(uint64_t n)
+{
+    gCounters.compiledOps.fetch_add(n, std::memory_order_relaxed);
+}
+
+void
+addSimdLanes(uint64_t n)
+{
+    gCounters.simdLanes.fetch_add(n, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Request-level lowering
+
+std::shared_ptr<const CompiledTrace>
+compileTrace(std::shared_ptr<const CapturedTrace> t)
+{
+    simr_assert(t != nullptr, "compiling a null trace");
+    const auto t0 = Clock::now();
+
+    auto out = std::make_shared<CompiledTrace>();
+    out->src_ = std::move(t);
+    const CapturedTrace &src = *out->src_;
+    const uint64_t n = src.opCount();
+    out->ops_ = n;
+
+    const uint32_t *idx = src.staticIdx().data();
+    const uint8_t *flg = src.flags().data();
+    const uint8_t *depth = src.callDepth().data();
+
+    // Records average ~1.5-2 ops each on the real services; reserve for
+    // the worst case seen in practice to avoid rehash-like growth.
+    out->recs_.reserve(static_cast<size_t>(n / 2 + 4));
+
+    CompiledTrace::Rec *cur = nullptr;
+    uint32_t prevFlat = 0;
+    for (uint64_t pos = 0; pos < n; ++pos) {
+        const uint32_t flat = idx[pos];
+        const uint8_t flags = flg[pos];
+        const uint8_t d = depth[pos];
+        const bool contiguous = cur != nullptr &&
+            cur->tail == CompiledTrace::kTailNone && flat == prevFlat + 1 &&
+            d == cur->depth && cur->count < 0xffff;
+        if (contiguous) {
+            ++cur->count;
+        } else {
+            out->recs_.push_back({flat, 1, CompiledTrace::kTailNone, d});
+            cur = &out->recs_.back();
+        }
+        // A memory access or a taken branch seals the record: its
+        // payload / control transfer belongs to the run's last op.
+        // (Not-taken branches fall through to flat+1 and stay inside.)
+        if (flags & CapturedTrace::kMemBit) {
+            const uint8_t kind = (flags >> CapturedTrace::kAddrKindShift) &
+                CapturedTrace::kAddrKindMask;
+            cur->tail = static_cast<uint8_t>(
+                CompiledTrace::kTailMem |
+                (kind << CompiledTrace::kAddrKindShift));
+        } else if (flags & CapturedTrace::kTakenBit) {
+            cur->tail = CompiledTrace::kTailTaken;
+        }
+        prevFlat = flat;
+    }
+    out->recs_.shrink_to_fit();
+
+    // Shape = every column except the per-lane addresses. Shape-equal
+    // lanes execute identical op sequences (same static indices, branch
+    // outcomes, dependence gates, call depths, address-relocation
+    // kinds), so a lockstep batch of them never splits.
+    uint64_t h = 0xcbf29ce484222325ull;
+    h = fnv1a(h, &n, sizeof(n));
+    h = fnv1aCol(h, src.staticIdx());
+    h = fnv1aCol(h, src.flags());
+    h = fnv1aCol(h, src.dep1());
+    h = fnv1aCol(h, src.dep2());
+    h = fnv1aCol(h, src.callDepth());
+    out->shapeFp_ = h;
+
+    gCounters.compiledTraces.fetch_add(1, std::memory_order_relaxed);
+    gCounters.compileUs.fetch_add(usSince(t0), std::memory_order_relaxed);
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Stream-level lowering
+
+std::shared_ptr<const CompiledStream>
+compileStream(std::shared_ptr<const StreamTrace> t)
+{
+    simr_assert(t != nullptr, "compiling a null stream trace");
+    const auto t0 = Clock::now();
+
+    auto out = std::make_shared<CompiledStream>();
+    out->src_ = std::move(t);
+    const StreamTrace &src = *out->src_;
+    const uint64_t n = src.opCount();
+    out->ops_ = n;
+
+    const uint32_t *idx = src.staticIdx().data();
+    const uint8_t *flg = src.flags().data();
+    const Mask *mask = src.maskCol().data();
+    const uint8_t *depth = src.callDepthCol().data();
+    const uint16_t *dep1 = src.dep1Col().data();
+    const uint16_t *dep2 = src.dep2Col().data();
+
+    out->recs_.reserve(static_cast<size_t>(n / 2 + 4));
+    out->depGates_.assign(static_cast<size_t>((n + 3) / 4), 0);
+
+    CompiledStream::Rec *cur = nullptr;
+    uint32_t prevFlat = 0;
+    for (uint64_t pos = 0; pos < n; ++pos) {
+        const uint32_t flat = idx[pos];
+        const uint8_t flags = flg[pos];
+        const Mask m = mask[pos];
+        const uint8_t d = depth[pos];
+
+        uint8_t head = 0;
+        if (flags & StreamTrace::kBatchStartBit)
+            head |= CompiledStream::kBatchStartBit;
+        if (flags & StreamTrace::kPathSwitchBit)
+            head |= CompiledStream::kPathSwitchBit;
+
+        const bool contiguous = cur != nullptr && head == 0 &&
+            (cur->kind & CompiledStream::kTailMask) == 0 &&
+            flat == prevFlat + 1 && m == cur->mask && d == cur->depth &&
+            cur->count < 0xffff;
+        if (contiguous) {
+            ++cur->count;
+        } else {
+            out->recs_.push_back({flat, m, 1, head, d});
+            cur = &out->recs_.back();
+        }
+
+        // Tail events seal the record; a 1-op record can carry head and
+        // tail bits at once.
+        uint8_t tail = 0;
+        if (flags & StreamTrace::kTakenBit)
+            tail |= CompiledStream::kTakenBit;
+        if (flags & StreamTrace::kEndBit)
+            tail |= CompiledStream::kEndBit;
+        if (flags & StreamTrace::kMemBit)
+            tail |= CompiledStream::kMemBit;
+        cur->kind |= tail;
+
+        // Dependence gates: whether the engine's max-over-active-lanes
+        // dep survived. The distance itself is recomputed at replay in
+        // batch-op space; only this bit is not derivable once lanes
+        // diverge.
+        const uint8_t g = static_cast<uint8_t>((dep1[pos] != 0 ? 1 : 0) |
+                                               (dep2[pos] != 0 ? 2 : 0));
+        out->depGates_[pos >> 2] |=
+            static_cast<uint8_t>(g << ((pos & 3) * 2));
+
+        prevFlat = flat;
+    }
+    out->recs_.shrink_to_fit();
+
+    uint64_t completed = 0;
+    for (Mask em : src.endMaskCol())
+        completed += static_cast<uint64_t>(popcount(em));
+    out->completed_ = completed;
+
+    gCounters.compiledStreams.fetch_add(1, std::memory_order_relaxed);
+    gCounters.compileUs.fetch_add(usSince(t0), std::memory_order_relaxed);
+    return out;
+}
+
+} // namespace simr::trace

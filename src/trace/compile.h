@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Trace compiler: lower captured traces into threaded superop kernels.
+ *
+ * The replay cursors in replay.h removed the interpreter from a warm
+ * run but still dispatch one op at a time off a per-op flags byte and
+ * stream ~14 dense bytes per op out of DRAM (the warm drain is
+ * bandwidth-bound, not compute-bound). This module compiles a finished
+ * capture -- once, on its second cache hit -- into a *superop* form the
+ * kernels in kernels.h execute with a threaded dispatch loop:
+ *
+ *  - straight-line runs between control/memory events collapse into
+ *    one pre-resolved record {first flat index, op count, tail kind},
+ *    so the executor decodes no per-op flags and touches ~0.25-7 bytes
+ *    of record data per op instead of the full dense columns;
+ *
+ *  - everything that is a pure function of the op sequence
+ *    (dependence distances, interpreter lastWriter bookkeeping) is
+ *    *recomputed* from a tiny L1-resident register table rather than
+ *    streamed from 4-byte-per-op columns -- the StaticInst the
+ *    executor must load anyway carries the registers;
+ *
+ *  - payload arenas (canonical addresses, lane masks) are *shared*
+ *    with the refcounted parent trace, so a compiled kernel adds only
+ *    its records (and, for streams, a 2-bit/op dependence gate) to the
+ *    cache budget;
+ *
+ *  - aggregate totals (op count, completed requests) are precomputed,
+ *    so consumers that only need counts (runFrontEnd's warm sweep)
+ *    drain a compiled stream in O(1).
+ *
+ * Two kernel kinds mirror the two cache levels. A CompiledTrace lowers
+ * one request's CapturedTrace for per-lane replay (LaneExec) and the
+ * lane-major batch kernel (all lanes of a uniform lockstep batch in
+ * one pass, AVX2 address relocation). A CompiledStream lowers a whole
+ * front-end unit's StreamTrace for stream-level replay (ReplayStream).
+ *
+ * Compilation and the SIMD paths are runtime-toggleable so one process
+ * can verify {warm-cursor, warm-compiled} x {scalar, AVX2} tiers
+ * bit-identical (the replay_compile_gate matrix).
+ */
+
+#ifndef SIMR_TRACE_COMPILE_H
+#define SIMR_TRACE_COMPILE_H
+
+#include <memory>
+#include <vector>
+
+#include "trace/capture.h"
+#include "trace/dynop.h"
+
+namespace simr::trace
+{
+
+class StreamTrace;
+
+// ---------------------------------------------------------------------------
+// Runtime toggles and process-wide compile counters
+
+/** Trace compilation master switch (env SIMR_TRACE_COMPILE, default on). */
+bool compileEnabled();
+void setCompileEnabled(bool on);
+
+/**
+ * AVX2 lane-major paths: compiled in (-DSIMR_SIMD=ON), supported by
+ * this CPU, and not disabled via env SIMR_SIMD=0 or setSimdEnabled.
+ */
+bool simdEnabled();
+void setSimdEnabled(bool on);
+
+/** AVX2 kernels compiled into this binary (-DSIMR_SIMD=ON). */
+bool simdCompiledIn();
+
+/** AVX2 compiled in *and* supported by the executing CPU. */
+bool simdAvailable();
+
+/** Monotonic process-wide compile/replay counters (relaxed atomics). */
+struct CompileCounters
+{
+    uint64_t compiledTraces = 0;  ///< request kernels built
+    uint64_t compiledStreams = 0; ///< stream kernels built
+    uint64_t compileUs = 0;       ///< microseconds spent compiling
+    uint64_t compiledOps = 0;     ///< dynamic ops served by kernels
+    uint64_t simdLanes = 0;       ///< lane-addresses through AVX2 paths
+};
+
+CompileCounters compileCounters();
+
+/** @name Batched counter increments (never call per op). */
+/// @{
+void addCompiledOps(uint64_t n);
+void addSimdLanes(uint64_t n);
+/// @}
+
+// ---------------------------------------------------------------------------
+// Request-level kernel
+
+/**
+ * One CapturedTrace lowered into superop records. Immutable; shares
+ * the parent trace's canonical-address column (refcounted), adding
+ * only 8 bytes per record (~1.5-2 ops each) to the cache budget.
+ *
+ * A record covers `count` ops at contiguous flat indices
+ * [flat, flat+count), all at one call depth; per-op state the cursor
+ * recomputes (dependence distances) or derives (PC, StaticInst). The
+ * record's tail op optionally carries the one event that terminated
+ * the run: a memory access (address from the shared parent column,
+ * relocated by AddrKind) or a taken branch. Records with kTailNone
+ * were cut by a control-flow discontinuity, a call-depth change, or
+ * the 16-bit count cap.
+ */
+class CompiledTrace
+{
+  public:
+    static constexpr uint8_t kTailNone = 0;
+    static constexpr uint8_t kTailMem = 1;
+    static constexpr uint8_t kTailTaken = 2;
+    static constexpr uint8_t kTailKindMask = 0x3;
+    static constexpr uint8_t kAddrKindShift = 2;  ///< kTailMem records
+
+    struct Rec
+    {
+        uint32_t flat;   ///< flat static index of the record's first op
+        uint16_t count;  ///< ops covered (>= 1)
+        uint8_t tail;    ///< kTail* | (AddrKind << kAddrKindShift)
+        uint8_t depth;   ///< call depth of every op in the record
+    };
+    static_assert(sizeof(Rec) == 8, "superop record must stay 8 bytes");
+
+    const std::vector<Rec> &recs() const { return recs_; }
+    uint64_t opCount() const { return ops_; }
+
+    /**
+     * Hash of the trace's *shape*: static indices, flags (branch
+     * outcomes, memory markers), dependence distances and call depths
+     * -- everything except the per-lane addresses. Lanes replaying
+     * shape-equal traces never diverge in lockstep, which is what
+     * makes the lane-major batch kernel sound.
+     */
+    uint64_t shapeFingerprint() const { return shapeFp_; }
+
+    /** The parent capture (payload arenas, relocation frame). */
+    const CapturedTrace &src() const { return *src_; }
+    const std::shared_ptr<const CapturedTrace> &srcPtr() const
+    {
+        return src_;
+    }
+
+    /** Bytes this kernel *adds* to the cache (records only). */
+    size_t
+    byteSize() const
+    {
+        return sizeof(*this) + recs_.capacity() * sizeof(Rec);
+    }
+
+  private:
+    friend std::shared_ptr<const CompiledTrace>
+    compileTrace(std::shared_ptr<const CapturedTrace> t);
+
+    std::shared_ptr<const CapturedTrace> src_;
+    std::vector<Rec> recs_;
+    uint64_t ops_ = 0;
+    uint64_t shapeFp_ = 0;
+};
+
+/** Lower one finished capture (counts compile time and kernels). */
+std::shared_ptr<const CompiledTrace>
+compileTrace(std::shared_ptr<const CapturedTrace> t);
+
+// ---------------------------------------------------------------------------
+// Stream-level kernel
+
+/**
+ * One StreamTrace lowered into superop records plus a 2-bit/op
+ * dependence-gate arena. All sparse payload arenas (taken/end masks,
+ * per-op lane/address lists, access sizes) are shared with the
+ * refcounted parent stream.
+ *
+ * Dependence distances are recomputed in batch-op space from the
+ * StaticInst stream (reset at every batch-start op, exactly mirroring
+ * LockstepEngine's lastWriterB bookkeeping); the gate bits preserve
+ * the engine's max-over-active-lanes gating, which is NOT derivable
+ * from batch space once lanes diverge.
+ */
+class CompiledStream
+{
+  public:
+    /** Record kind bits. Tail bits apply to the record's last op,
+        head bits to its first (a 1-op record can carry both). */
+    static constexpr uint8_t kTakenBit = 0x1;      ///< tail: taken branch
+    static constexpr uint8_t kEndBit = 0x2;        ///< tail: lanes ended
+    static constexpr uint8_t kMemBit = 0x4;        ///< tail: memory op
+    static constexpr uint8_t kTailMask = 0x7;
+    static constexpr uint8_t kBatchStartBit = 0x8; ///< head: new batch
+    static constexpr uint8_t kPathSwitchBit = 0x10;///< head: path switch
+
+    struct Rec
+    {
+        uint32_t flat;   ///< flat static index of the record's first op
+        Mask mask;       ///< active mask of every op in the record
+        uint16_t count;  ///< ops covered (>= 1)
+        uint8_t kind;    ///< head/tail bits above
+        uint8_t depth;   ///< call depth of every op in the record
+    };
+    static_assert(sizeof(Rec) == 12, "stream record must stay 12 bytes");
+
+    const std::vector<Rec> &recs() const { return recs_; }
+
+    /** 2 bits per op (dep1 gate, dep2 gate), 4 ops per byte. */
+    const std::vector<uint8_t> &depGates() const { return depGates_; }
+
+    uint64_t opCount() const { return ops_; }
+
+    /** Requests completed by the full stream (precomputed). */
+    uint64_t totalCompleted() const { return completed_; }
+
+    const StreamTrace &src() const { return *src_; }
+    const std::shared_ptr<const StreamTrace> &srcPtr() const
+    {
+        return src_;
+    }
+
+    /** Bytes this kernel *adds* to the cache (records + gates). */
+    size_t
+    byteSize() const
+    {
+        return sizeof(*this) + recs_.capacity() * sizeof(Rec) +
+            depGates_.capacity();
+    }
+
+  private:
+    friend std::shared_ptr<const CompiledStream>
+    compileStream(std::shared_ptr<const StreamTrace> t);
+
+    std::shared_ptr<const StreamTrace> src_;
+    std::vector<Rec> recs_;
+    std::vector<uint8_t> depGates_;
+    uint64_t ops_ = 0;
+    uint64_t completed_ = 0;
+};
+
+/** Lower one finished stream capture. */
+std::shared_ptr<const CompiledStream>
+compileStream(std::shared_ptr<const StreamTrace> t);
+
+} // namespace simr::trace
+
+#endif // SIMR_TRACE_COMPILE_H

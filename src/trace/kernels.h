@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Superop kernel executors: threaded-code replay of compiled traces.
+ *
+ * Three executors consume the record forms compile.h produces, each a
+ * drop-in for an existing replay path and proved bit-identical to it
+ * by the replay_compile_gate:
+ *
+ *  - CompiledCursor: per-lane replay of one CompiledTrace, the
+ *    StepResult surface of ReplayCursor. Dependence distances and the
+ *    interpreter's lastWriter bookkeeping are recomputed from a
+ *    32-entry register table instead of streamed from dense columns.
+ *
+ *  - TraceBatchKernel: lane-major replay of one uniform lockstep
+ *    batch. When every lane of a batch replays a shape-equal
+ *    CompiledTrace the batch can never diverge, so the lockstep
+ *    engine's grouping, divergence and dependence machinery is skipped
+ *    entirely: one pass over the representative lane's records
+ *    produces the batch DynOps, and the per-lane memory addresses are
+ *    relocated 4 lanes at a time with AVX2 (runtime-dispatched; the
+ *    scalar path is bit-identical).
+ *
+ *  - CompiledStreamCursor: replay of one CompiledStream, the DynOp
+ *    surface behind ReplayStream. Interior ops of a record need only a
+ *    flat-index increment; tail ops jump through a computed-goto
+ *    dispatch table indexed by the record's pre-resolved event kind.
+ *
+ * This header is included by replay.h (LaneExec embeds a
+ * CompiledCursor), so it must not include replay.h itself; the
+ * StreamTrace-facing pieces live in kernels.cc.
+ */
+
+#ifndef SIMR_TRACE_KERNELS_H
+#define SIMR_TRACE_KERNELS_H
+
+#include "trace/compile.h"
+#include "trace/dynop.h"
+#include "trace/interp.h"
+
+namespace simr::trace
+{
+
+/**
+ * Per-lane replay of one CompiledTrace: ReplayCursor's exact surface
+ * and StepResult sequence, driven by superop records.
+ */
+class CompiledCursor
+{
+  public:
+    explicit CompiledCursor(const ProgramIndex &pi) : pi_(&pi) {}
+
+    /** Begin replaying `k` as the request described by `init`. */
+    void start(std::shared_ptr<const CompiledTrace> k,
+               const ThreadInit &init);
+
+    bool done() const { return opPos_ >= n_; }
+
+    /** Position of the next op (valid while !done()), post-normalize. */
+    int curBlock() const { return pi_->blockOf(headFlat()); }
+    size_t curIdx() const { return pi_->idxInBlock(headFlat()); }
+    isa::Pc curPc() const { return pi_->pcOf(headFlat()); }
+
+    int
+    callDepth() const
+    {
+        return opPos_ < n_ ? recs_[recPos_].depth : 0;
+    }
+
+    uint64_t dynCount() const { return opPos_; }
+
+    /** Materialize the next op (valid while !done()). */
+    void step(StepResult &out);
+
+    /** The kernel being replayed (null before start). */
+    const CompiledTrace *kernel() const { return k_.get(); }
+
+    /** @name Batch-kernel inputs (valid after start). */
+    /// @{
+    const uint64_t *addrCol() const { return addrCol_; }
+    const uint64_t *shifts() const { return shift_; }
+    /// @}
+
+    /**
+     * Mark the whole trace consumed (the batch kernel replayed it
+     * lane-major); flushes this cursor's share of the compiled-op
+     * counter exactly as step()-ing to the end would have.
+     */
+    void skipToEnd();
+
+  private:
+    uint32_t
+    headFlat() const
+    {
+        return recs_[recPos_].flat + inRec_;
+    }
+
+    const ProgramIndex *pi_;
+    std::shared_ptr<const CompiledTrace> k_;
+    const CompiledTrace::Rec *recs_ = nullptr;
+    size_t nRecs_ = 0;
+    size_t recPos_ = 0;
+    uint32_t inRec_ = 0;
+    uint64_t opPos_ = 0;
+    uint64_t n_ = 0;
+    uint64_t memPos_ = 0;      ///< index into the canonical-address column
+    uint64_t shift_[3] = {};   ///< per-AddrKind relocation (mod 2^64)
+    const uint64_t *addrCol_ = nullptr;
+    const isa::StaticInst *const *insts_ = nullptr;
+    isa::Pc codeBase_ = 0;
+    // Interpreter-replica dependence state: lastWriter indices in
+    // dynamic-op space, reset per request (dep distances are a pure
+    // function of the op sequence, so they need no storage).
+    uint64_t lastWriter_[isa::kNumRegs] = {};
+};
+
+/**
+ * Lane-major replay of one uniform lockstep batch: every lane holds a
+ * CompiledCursor over a shape-equal kernel positioned at op 0. One
+ * pass over the representative records emits the exact DynOp sequence
+ * LockstepEngine would have produced (full mask throughout, zero
+ * divergence), with per-lane addresses relocated by AVX2 when
+ * available. The caller (the engine) remains responsible for stats
+ * accounting, observer callbacks and lane retirement.
+ */
+class TraceBatchKernel
+{
+  public:
+    /** One lane's relocation inputs. */
+    struct LaneSrc
+    {
+        const uint64_t *addrCol;  ///< canonical-address column
+        const uint64_t *shift;    ///< per-AddrKind shifts, 3 entries
+    };
+
+    /**
+     * Arm the kernel for one batch of `n` lanes over the shared
+     * representative `rep`. Caller guarantees shape equality.
+     */
+    void start(const CompiledTrace *rep, const LaneSrc *lanes, int n,
+               const ProgramIndex &pi);
+
+    bool done() const { return opPos_ >= n_; }
+
+    /**
+     * Produce the next batch op. Does not touch op.batchStart (the
+     * engine stamps it afterwards, preserving observer-visible state).
+     */
+    void step(DynOp &op);
+
+    /** Flush counters after the batch fully retired. */
+    void finish();
+
+  private:
+    const CompiledTrace::Rec *recs_ = nullptr;
+    size_t recPos_ = 0;
+    uint32_t inRec_ = 0;
+    uint64_t opPos_ = 0;
+    uint64_t n_ = 0;
+    uint64_t memPos_ = 0;
+    int nLanes_ = 0;
+    Mask fullMask_ = 0;
+    const isa::StaticInst *const *insts_ = nullptr;
+    isa::Pc codeBase_ = 0;
+    const uint64_t *laneAddrCol_[kMaxBatch] = {};
+    bool sharedCol_ = false;   ///< all lanes read one column (dedup hit)
+    uint64_t simdLanes_ = 0;   ///< local accumulator, flushed in finish()
+    uint64_t lastWriter_[isa::kNumRegs] = {};
+    /** Per-AddrKind, per-lane shifts, laid out for 4-wide vector loads. */
+    alignas(32) uint64_t shiftsByKind_[3][kMaxBatch] = {};
+};
+
+/**
+ * Replay of one CompiledStream: ReplayStream's DynOp sequence from
+ * superop records plus the 2-bit dependence-gate arena. Dependence
+ * distances are recomputed in batch-op space (reset at every
+ * batch-start op, mirroring the engine's lastWriterB bookkeeping and,
+ * for scalar streams, the interpreter's per-request counters -- the
+ * two conventions coincide on every gated read).
+ */
+class CompiledStreamCursor
+{
+  public:
+    /** Arm over `k`; `pi` must index the consumer's Program instance. */
+    void start(std::shared_ptr<const CompiledStream> k,
+               const ProgramIndex &pi);
+
+    bool done() const { return opPos_ >= n_; }
+
+    /** Materialize the next op; false once exhausted. */
+    bool next(DynOp &op);
+
+    uint64_t opCount() const { return n_; }
+    uint64_t completed() const { return completed_; }
+
+    /**
+     * Consume the rest of the stream without materializing ops: counts
+     * come from the kernel's precomputed aggregates, so this is O(1).
+     * Returns the number of ops skipped.
+     */
+    uint64_t drainRemaining();
+
+  private:
+    /** Consume the tail op's endMask payload. */
+    void
+    readEnd(DynOp &op)
+    {
+        op.endMask = endCol_[endPos_++];
+        completed_ += static_cast<uint64_t>(popcount(op.endMask));
+    }
+
+    /** Consume the tail op's memory payload. */
+    void
+    readMem(DynOp &op)
+    {
+        const uint8_t count = addrCountCol_[memPos_];
+        op.accessSize = accessSizeCol_[memPos_++];
+        op.addrCount = count;
+        for (uint8_t i = 0; i < count; ++i) {
+            op.lane[i] = laneCol_[lanePos_];
+            op.addr[i] = addrCol_[lanePos_++];
+        }
+    }
+
+    std::shared_ptr<const CompiledStream> k_;
+    const CompiledStream::Rec *recs_ = nullptr;
+    size_t recPos_ = 0;
+    uint32_t inRec_ = 0;
+    uint64_t opPos_ = 0;
+    uint64_t n_ = 0;
+    uint64_t completed_ = 0;
+    bool flushed_ = false;    ///< compiled-op counter already credited
+    const uint8_t *gates_ = nullptr;
+    // Shared parent-stream payload columns, consumed sequentially.
+    const Mask *takenCol_ = nullptr;
+    const Mask *endCol_ = nullptr;
+    const uint8_t *addrCountCol_ = nullptr;
+    const uint16_t *accessSizeCol_ = nullptr;
+    const uint8_t *laneCol_ = nullptr;
+    const uint64_t *addrCol_ = nullptr;
+    size_t takenPos_ = 0;
+    size_t endPos_ = 0;
+    size_t memPos_ = 0;
+    size_t lanePos_ = 0;
+    const isa::StaticInst *const *insts_ = nullptr;
+    isa::Pc codeBase_ = 0;
+    // Batch-op-space dependence recomputation.
+    uint64_t batchOpIdx_ = 0;
+    uint64_t lastWriter_[isa::kNumRegs] = {};
+};
+
+} // namespace simr::trace
+
+#endif // SIMR_TRACE_KERNELS_H

@@ -14,6 +14,14 @@ ReplayCursor::start(std::shared_ptr<const CapturedTrace> t,
     simr_assert(t != nullptr, "replaying a null trace");
     simr_assert(t->fingerprint() == pi_->fingerprint(),
                 "trace replayed against a different program");
+    // Bounds checks are hoisted here, once per request: with the
+    // replay-ready columns proved coherent at start, each step() only
+    // needs the debug-build position guard below.
+    simr_assert(t->dep1().size() == t->opCount() &&
+                t->dep2().size() == t->opCount() &&
+                t->callDepth().size() == t->opCount() &&
+                t->flags().size() == t->opCount(),
+                "trace columns inconsistent with op count");
     trace_ = std::move(t);
     pos_ = 0;
     n_ = trace_->opCount();
@@ -37,7 +45,7 @@ ReplayCursor::start(std::shared_ptr<const CapturedTrace> t,
 void
 ReplayCursor::step(StepResult &out)
 {
-    simr_assert(pos_ < n_, "step on a finished replay");
+    simr_dassert(pos_ < n_, "step on a finished replay");
     const uint64_t pos = pos_;
     const uint32_t flat = idx_[pos];
     const uint8_t flags = flg_[pos];
@@ -125,18 +133,27 @@ StreamCaptureBuilder::finish()
 }
 
 ReplayStream::ReplayStream(const isa::Program &prog,
-                           std::shared_ptr<const StreamTrace> t)
+                           std::shared_ptr<const StreamTrace> t,
+                           std::shared_ptr<const CompiledStream> compiled)
     : pi_(prog), trace_(std::move(t))
 {
     simr_assert(trace_ != nullptr, "replaying a null stream trace");
     simr_assert(trace_->fingerprint() == pi_.fingerprint(),
                 "stream trace replayed against a different program");
     n_ = trace_->opCount();
+    if (compiled != nullptr && compileEnabled()) {
+        simr_assert(compiled->srcPtr().get() == trace_.get(),
+                    "compiled stream does not match its source trace");
+        cursor_.start(std::move(compiled), pi_);
+        useCompiled_ = true;
+    }
 }
 
 bool
 ReplayStream::next(DynOp &op)
 {
+    if (useCompiled_)
+        return cursor_.next(op);
     if (pos_ >= n_)
         return false;
     const StreamTrace &t = *trace_;
@@ -181,11 +198,19 @@ LaneExec::reset(const ThreadInit &init)
 {
     init_ = init;
     replaying_ = false;
+    usingCompiled_ = false;
     capturing_ = false;
     if (cache_ != nullptr) {
         bool dedup = false;
-        if (auto t = cache_->lookup(pi_->fingerprint(), init, &dedup)) {
-            replay_.start(std::move(t), init);
+        std::shared_ptr<const CompiledTrace> kernel;
+        if (auto t = cache_->lookup(pi_->fingerprint(), init, &dedup,
+                                    &kernel)) {
+            if (kernel != nullptr) {
+                compiled_.start(std::move(kernel), init);
+                usingCompiled_ = true;
+            } else {
+                replay_.start(std::move(t), init);
+            }
             replaying_ = true;
             ++stats_.hits;
             if (dedup)
@@ -203,7 +228,10 @@ void
 LaneExec::step(StepResult &out)
 {
     if (replaying_) {
-        replay_.step(out);
+        if (usingCompiled_)
+            compiled_.step(out);
+        else
+            replay_.step(out);
         ++stats_.replayedOps;
         return;
     }

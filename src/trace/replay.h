@@ -42,6 +42,7 @@
 #include "trace/capture.h"
 #include "trace/dynop.h"
 #include "trace/interp.h"
+#include "trace/kernels.h"
 
 namespace simr::trace
 {
@@ -99,51 +100,91 @@ class ReplayCursor
  * One hardware lane: ThreadState's stepping surface with a TraceCache
  * bolted underneath. With a null cache (or one disabled via
  * SIMR_TRACE_CACHE=0) it degenerates to plain live interpretation.
+ *
+ * Per request the lane runs in one of three modes: compiled replay
+ * (the cache returned a superop kernel), cursor replay (trace hit, no
+ * kernel yet), or live interpretation (miss, capturing when a cache is
+ * attached). Modes interleave freely across the lanes of one batch.
  */
 class LaneExec
 {
   public:
     LaneExec(const ProgramIndex &pi, TraceCache *cache)
         : pi_(&pi), cache_(cache), live_(pi.program()), replay_(pi),
-          builder_(pi)
+          compiled_(pi), builder_(pi)
     {}
 
     /** Start the next request; decides replay vs capture vs plain. */
     void reset(const ThreadInit &init);
 
-    bool done() const { return replaying_ ? replay_.done() : live_.done(); }
+    bool
+    done() const
+    {
+        return replaying_
+            ? (usingCompiled_ ? compiled_.done() : replay_.done())
+            : live_.done();
+    }
 
     int
     curBlock() const
     {
-        return replaying_ ? replay_.curBlock() : live_.curBlock();
+        return replaying_
+            ? (usingCompiled_ ? compiled_.curBlock() : replay_.curBlock())
+            : live_.curBlock();
     }
 
     size_t
     curIdx() const
     {
-        return replaying_ ? replay_.curIdx() : live_.curIdx();
+        return replaying_
+            ? (usingCompiled_ ? compiled_.curIdx() : replay_.curIdx())
+            : live_.curIdx();
     }
 
     isa::Pc
     curPc() const
     {
-        return replaying_ ? replay_.curPc() : live_.curPc();
+        return replaying_
+            ? (usingCompiled_ ? compiled_.curPc() : replay_.curPc())
+            : live_.curPc();
     }
 
     int
     callDepth() const
     {
-        return replaying_ ? replay_.callDepth() : live_.callDepth();
+        return replaying_
+            ? (usingCompiled_ ? compiled_.callDepth()
+                              : replay_.callDepth())
+            : live_.callDepth();
     }
 
     uint64_t
     dynCount() const
     {
-        return replaying_ ? replay_.dynCount() : live_.dynCount();
+        return replaying_
+            ? (usingCompiled_ ? compiled_.dynCount() : replay_.dynCount())
+            : live_.dynCount();
     }
 
     void step(StepResult &out);
+
+    /** This request replays through a compiled superop kernel. */
+    bool compiledReplaying() const { return replaying_ && usingCompiled_; }
+
+    /** The armed compiled cursor (valid while compiledReplaying()). */
+    const CompiledCursor &compiledCursor() const { return compiled_; }
+
+    /**
+     * The batch kernel replayed this lane's whole request lane-major;
+     * retire the cursor and account the ops as replayed.
+     */
+    void
+    finishBatchReplay()
+    {
+        stats_.replayedOps += compiled_.kernel()->opCount() -
+            compiled_.dynCount();
+        compiled_.skipToEnd();
+    }
 
     /** Reuse accounting since construction (deterministic per lane). */
     const ReuseStats &reuseStats() const { return stats_; }
@@ -153,8 +194,10 @@ class LaneExec
     TraceCache *cache_;
     ThreadState live_;
     ReplayCursor replay_;
+    CompiledCursor compiled_;
     CaptureBuilder builder_;
     bool replaying_ = false;
+    bool usingCompiled_ = false;
     bool capturing_ = false;
     ThreadInit init_{};
     ReuseStats stats_;
@@ -192,6 +235,22 @@ class StreamTrace
 
     /** Program fingerprint the stream belongs to. */
     uint64_t fingerprint() const { return fingerprint_; }
+
+    /** @name Raw columns (the trace compiler and kernel executors). */
+    /// @{
+    const std::vector<uint32_t> &staticIdx() const { return staticIdx_; }
+    const std::vector<uint8_t> &flags() const { return flags_; }
+    const std::vector<Mask> &maskCol() const { return mask_; }
+    const std::vector<uint8_t> &callDepthCol() const { return callDepth_; }
+    const std::vector<uint16_t> &dep1Col() const { return dep1_; }
+    const std::vector<uint16_t> &dep2Col() const { return dep2_; }
+    const std::vector<Mask> &takenMaskCol() const { return takenMask_; }
+    const std::vector<Mask> &endMaskCol() const { return endMask_; }
+    const std::vector<uint8_t> &addrCountCol() const { return addrCount_; }
+    const std::vector<uint16_t> &accessSizeCol() const { return accessSize_; }
+    const std::vector<uint8_t> &laneCol() const { return lane_; }
+    const std::vector<uint64_t> &addrCol() const { return addr_; }
+    /// @}
 
     /** Resident bytes of the columnar payload (cache accounting). */
     size_t
@@ -255,22 +314,49 @@ class StreamCaptureBuilder
 /**
  * Serves a captured DynOp stream back through the DynStream interface.
  * Owns its ProgramIndex over the consumer's local Program instance, so
- * the StaticInst pointers it emits belong to that instance.
+ * the StaticInst pointers it emits belong to that instance. When the
+ * stream cache also supplies a compiled superop kernel (and compiling
+ * is enabled), ops come from a CompiledStreamCursor instead of the
+ * dense columns, and consumers that only need counts can drain the
+ * whole stream in O(1) via drainCompiled().
  */
 class ReplayStream : public DynStream
 {
   public:
     ReplayStream(const isa::Program &prog,
-                 std::shared_ptr<const StreamTrace> t);
+                 std::shared_ptr<const StreamTrace> t,
+                 std::shared_ptr<const CompiledStream> compiled = nullptr);
 
     bool next(DynOp &op) override;
-    uint64_t requestsCompleted() const override { return completed_; }
+
+    uint64_t
+    requestsCompleted() const override
+    {
+        return useCompiled_ ? cursor_.completed() : completed_;
+    }
 
     uint64_t opCount() const { return trace_->opCount(); }
+
+    /**
+     * Consume the rest of the stream in O(1) from the kernel's
+     * precomputed aggregates, adding the skipped ops to `*ops`.
+     * @return false (and does nothing) without a compiled kernel --
+     *         the caller falls back to the per-op drain.
+     */
+    bool
+    drainCompiled(uint64_t *ops)
+    {
+        if (!useCompiled_)
+            return false;
+        *ops += cursor_.drainRemaining();
+        return true;
+    }
 
   private:
     ProgramIndex pi_;
     std::shared_ptr<const StreamTrace> trace_;
+    CompiledStreamCursor cursor_;   ///< armed iff useCompiled_
+    bool useCompiled_ = false;
     uint64_t pos_ = 0;
     uint64_t n_ = 0;
     uint64_t completed_ = 0;

@@ -12,6 +12,8 @@
  */
 
 #include <atomic>
+#include <cstdint>
+#include <limits>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -22,7 +24,10 @@
 #include "services/service.h"
 #include "simr/runner.h"
 #include "simr/streamcache.h"
+#include "simt/lockstep.h"
 #include "trace/capture.h"
+#include "trace/compile.h"
+#include "trace/kernels.h"
 #include "trace/replay.h"
 #include "trace/stream.h"
 
@@ -329,9 +334,9 @@ TEST(StreamCacheTest, LruEvictionKeepsHottest)
     // Budget below one stream: the single entry must survive (eviction
     // never frees the hottest entry), further inserts must evict.
     StreamCache small(t->byteSize() / 2);
-    small.insert("a", StreamEntry{t, simt::SimtStats{}});
+    small.insert("a", StreamEntry{t, nullptr, simt::SimtStats{}});
     EXPECT_EQ(small.entries(), 1u);
-    small.insert("b", StreamEntry{capture(8, 6), simt::SimtStats{}});
+    small.insert("b", StreamEntry{capture(8, 6), nullptr, simt::SimtStats{}});
     EXPECT_EQ(small.entries(), 1u);
     EXPECT_GT(small.evictions(), 0u);
 
@@ -348,6 +353,574 @@ TEST(StreamCacheTest, LruEvictionKeepsHottest)
     EXPECT_EQ(n, ent.trace->opCount());
 
     // Null-trace entries are rejected, not cached.
-    small.insert("null", StreamEntry{nullptr, simt::SimtStats{}});
+    small.insert("null", StreamEntry{nullptr, nullptr, simt::SimtStats{}});
     EXPECT_FALSE(small.lookup("null", &ent));
+}
+
+// ---------------------------------------------------------------------------
+// Varint/zigzag boundary coverage: the address-arena encoding must
+// round-trip every signed 64-bit delta, including the values whose
+// zigzag image needs the maximal 10-byte LEB128 form.
+
+TEST(VarintZigzag, SignBoundariesMapAsDocumented)
+{
+    using trace::detail::unzigzag;
+    using trace::detail::zigzag;
+
+    // Small magnitudes interleave around zero...
+    EXPECT_EQ(zigzag(0), 0u);
+    EXPECT_EQ(zigzag(-1), 1u);
+    EXPECT_EQ(zigzag(1), 2u);
+    EXPECT_EQ(zigzag(-2), 3u);
+    // ...and INT64_MIN (the one value with no positive counterpart)
+    // maps to the all-ones code.
+    EXPECT_EQ(zigzag(std::numeric_limits<int64_t>::min()),
+              ~uint64_t{0});
+    EXPECT_EQ(zigzag(std::numeric_limits<int64_t>::max()),
+              ~uint64_t{0} - 1);
+}
+
+TEST(VarintZigzag, BoundaryDeltasRoundTrip)
+{
+    using trace::detail::getVarint;
+    using trace::detail::putVarint;
+    using trace::detail::unzigzag;
+    using trace::detail::zigzag;
+
+    // Alternating signs, 7-bit group boundaries, and the extremes that
+    // exercise the 9- and 10-byte encodings (deltas > 2^56 after
+    // zigzag doubling).
+    std::vector<int64_t> deltas = {
+        0, 1, -1, 2, -2, 63, -64, 64, -65,
+        (int64_t{1} << 35) - 1, -(int64_t{1} << 35),
+        (int64_t{1} << 56), -(int64_t{1} << 56) - 1,
+        std::numeric_limits<int64_t>::max(),
+        std::numeric_limits<int64_t>::min() + 1,
+        std::numeric_limits<int64_t>::min(),
+    };
+    // A long alternating-sign ramp on top, so consecutive encodings of
+    // different lengths sit back to back in one arena.
+    for (int i = 0; i < 64; ++i) {
+        const int64_t mag = int64_t{1} << (i % 63);
+        deltas.push_back((i & 1) ? -mag : mag);
+    }
+
+    std::vector<uint8_t> arena;
+    std::vector<size_t> lens;
+    for (int64_t d : deltas) {
+        const size_t before = arena.size();
+        putVarint(arena, zigzag(d));
+        lens.push_back(arena.size() - before);
+    }
+
+    size_t pos = 0;
+    for (size_t i = 0; i < deltas.size(); ++i) {
+        const size_t before = pos;
+        EXPECT_EQ(unzigzag(getVarint(arena.data(), pos)), deltas[i])
+            << "delta " << i;
+        EXPECT_EQ(pos - before, lens[i]) << "delta " << i;
+    }
+    EXPECT_EQ(pos, arena.size());
+}
+
+TEST(VarintZigzag, EveryEncodingLengthRoundTrips)
+{
+    using trace::detail::getVarint;
+    using trace::detail::putVarint;
+
+    // Both sides of every 7-bit length boundary, through the 10-byte
+    // maximum (64 payload bits need ceil(64/7) = 10 groups).
+    std::vector<uint64_t> vals = {0};
+    std::vector<size_t> wantLen = {1};
+    for (int k = 1; k <= 9; ++k) {
+        vals.push_back((uint64_t{1} << (7 * k)) - 1);
+        wantLen.push_back(static_cast<size_t>(k));
+        vals.push_back(uint64_t{1} << (7 * k));
+        wantLen.push_back(static_cast<size_t>(k) + 1);
+    }
+    vals.push_back(~uint64_t{0});
+    wantLen.push_back(10);
+
+    std::vector<uint8_t> arena;
+    for (size_t i = 0; i < vals.size(); ++i) {
+        const size_t before = arena.size();
+        putVarint(arena, vals[i]);
+        EXPECT_EQ(arena.size() - before, wantLen[i]) << "val " << i;
+    }
+    size_t pos = 0;
+    for (size_t i = 0; i < vals.size(); ++i)
+        EXPECT_EQ(getVarint(arena.data(), pos), vals[i]) << "val " << i;
+    EXPECT_EQ(pos, arena.size());
+}
+
+// ---------------------------------------------------------------------------
+// Superop kernels: compiled replay must be indistinguishable from the
+// cursor (and therefore from live interpretation) at every surface.
+
+namespace
+{
+
+/**
+ * Compile `t` and replay it side by side with a ReplayCursor relocated
+ * to the same `init`: every StepResult field and every position
+ * accessor must agree at every op. Fatal on first divergence.
+ */
+void
+expectCompiledMatchesCursor(const trace::ProgramIndex &pi,
+                            std::shared_ptr<const trace::CapturedTrace> t,
+                            const trace::ThreadInit &init)
+{
+    auto k = trace::compileTrace(t);
+    ASSERT_NE(k, nullptr);
+    ASSERT_EQ(k->opCount(), t->opCount());
+    ASSERT_EQ(&k->src(), t.get());
+
+    trace::ReplayCursor cursor(pi);
+    cursor.start(t, init);
+    trace::CompiledCursor comp(pi);
+    comp.start(k, init);
+
+    trace::StepResult a, b;
+    uint64_t op = 0;
+    while (!cursor.done()) {
+        ASSERT_FALSE(comp.done()) << "compiled short at op " << op;
+        ASSERT_EQ(comp.curPc(), cursor.curPc()) << "op " << op;
+        ASSERT_EQ(comp.curBlock(), cursor.curBlock()) << "op " << op;
+        ASSERT_EQ(comp.curIdx(), cursor.curIdx()) << "op " << op;
+        ASSERT_EQ(comp.callDepth(), cursor.callDepth()) << "op " << op;
+        cursor.step(a);
+        comp.step(b);
+        ASSERT_EQ(a.si, b.si) << "op " << op;
+        ASSERT_EQ(a.pc, b.pc) << "op " << op;
+        ASSERT_EQ(a.taken, b.taken) << "op " << op;
+        ASSERT_EQ(a.addr, b.addr) << "op " << op;
+        ASSERT_EQ(a.accessSize, b.accessSize) << "op " << op;
+        ASSERT_EQ(a.callDepth, b.callDepth) << "op " << op;
+        ASSERT_EQ(a.dep1, b.dep1) << "op " << op;
+        ASSERT_EQ(a.dep2, b.dep2) << "op " << op;
+        ++op;
+    }
+    ASSERT_TRUE(comp.done());
+    ASSERT_EQ(comp.dynCount(), cursor.dynCount());
+}
+
+/** Engine over one batch of explicit thread contexts. */
+simt::LockstepEngine::BatchProvider
+oneBatchOf(std::vector<trace::ThreadInit> inits)
+{
+    auto state = std::make_shared<std::vector<trace::ThreadInit>>(
+        std::move(inits));
+    auto used = std::make_shared<bool>(false);
+    return [state, used](std::vector<trace::ThreadInit> &out) -> int {
+        if (*used)
+            return 0;
+        *used = true;
+        out = *state;
+        return static_cast<int>(out.size());
+    };
+}
+
+uint64_t
+drainEngine(simt::LockstepEngine &e, std::vector<trace::DynOp> *ops)
+{
+    trace::DynOp op;
+    uint64_t n = 0;
+    while (e.next(op)) {
+        ++n;
+        if (ops) {
+            ops->push_back(trace::DynOp{});
+            ops->back().copyFrom(op);
+        }
+    }
+    return n;
+}
+
+} // namespace
+
+TEST(CompiledTraceKernel, MatchesCursorAcrossTiersAndSlots)
+{
+    trace::setCompileEnabled(true);
+    mem::HeapAllocator alloc(mem::AllocPolicy::SimrAware);
+    int clean = 0, tainted = 0;
+    for (const auto &name : svc::serviceNames()) {
+        auto svc = svc::buildService(name);
+        ASSERT_NE(svc, nullptr);
+        trace::ProgramIndex pi(svc->program());
+        auto reqs = genRequests(*svc, 8, 17);
+        for (const auto &req : reqs) {
+            trace::ThreadInit init0 =
+                svc::makeThreadInit(*svc, req, 0, 0, alloc);
+            auto t = captureRequest(pi, init0);
+
+            // Every trace, any taint tier: the kernel must replay in
+            // the capture frame exactly as the cursor does.
+            expectCompiledMatchesCursor(pi, t, init0);
+            ASSERT_FALSE(::testing::Test::HasFatalFailure());
+
+            if (t->identityDependent() || t->frameDependent()) {
+                ++tainted;
+                continue;
+            }
+            ++clean;
+            // Clean traces also replay *relocated*; the kernel's
+            // per-AddrKind shifts must match the cursor's.
+            trace::ThreadInit init5 =
+                svc::makeThreadInit(*svc, req, 5, 5, alloc);
+            ASSERT_NE(init5.stackTop, init0.stackTop);
+            expectCompiledMatchesCursor(pi, t, init5);
+            ASSERT_FALSE(::testing::Test::HasFatalFailure());
+        }
+    }
+    // The scan is vacuous unless both tiers actually occurred.
+    EXPECT_GT(clean, 0);
+    EXPECT_GT(tainted, 0);
+}
+
+TEST(CompiledBatch, UniformBatchEngagesKernelBitIdentical)
+{
+    trace::setCompileEnabled(true);
+    auto svc = svc::buildService("memc");
+    ASSERT_NE(svc, nullptr);
+    trace::ProgramIndex pi(svc->program());
+    mem::HeapAllocator alloc(mem::AllocPolicy::SimrAware);
+    auto reqs = genRequests(*svc, 32, 7);
+
+    // A canonical-tier request: all four lanes dedup onto one cache
+    // entry, so the batch is shape-uniform by construction.
+    const svc::Request *cleanReq = nullptr;
+    std::shared_ptr<const trace::CapturedTrace> ct;
+    for (const auto &req : reqs) {
+        auto t = captureRequest(
+            pi, svc::makeThreadInit(*svc, req, 0, 0, alloc));
+        if (!t->identityDependent() && !t->frameDependent()) {
+            cleanReq = &req;
+            ct = t;
+            break;
+        }
+    }
+    ASSERT_NE(cleanReq, nullptr);
+
+    auto inits4 = [&]() {
+        std::vector<trace::ThreadInit> v;
+        for (int l = 0; l < 4; ++l)
+            v.push_back(svc::makeThreadInit(
+                *svc, *cleanReq, l, static_cast<uint64_t>(l), alloc));
+        return v;
+    };
+
+    // Reference: the same batch interpreted live, no cache.
+    simt::LockstepEngine ref(svc->program(),
+                             simt::ReconvPolicy::MinSpPc, 4,
+                             oneBatchOf(inits4()));
+    std::vector<trace::DynOp> want;
+    drainEngine(ref, &want);
+    ASSERT_FALSE(want.empty());
+
+    trace::TraceCache cache(64 << 20);
+    auto runCached = [&](std::vector<trace::DynOp> *ops) {
+        simt::LockstepEngine e(svc->program(),
+                               simt::ReconvPolicy::MinSpPc, 4,
+                               oneBatchOf(inits4()),
+                               simt::SpinEscapeConfig(), &cache);
+        drainEngine(e, ops);
+        EXPECT_EQ(e.requestsCompleted(), 4u);
+    };
+
+    // Run 1 captures (4 misses on one key, first insert wins). Run 2 is
+    // the mixed batch -- the dedup entry reaches its second hit while
+    // the batch launches, so cursor and compiled lanes coexist and the
+    // batch kernel must decline.
+    runCached(nullptr);
+    std::vector<trace::DynOp> mixed;
+    runCached(&mixed);
+    ASSERT_EQ(mixed.size(), want.size());
+    for (size_t i = 0; i < want.size(); ++i)
+        ASSERT_TRUE(sameDynOp(want[i], mixed[i])) << "mixed op " << i;
+
+    // Run 3: every lane replays the (now compiled) kernel, so the
+    // lane-major batch kernel takes the whole batch. compiledOps grows
+    // by exactly the batch-op count -- the engagement signature; the
+    // declined path above would have credited one share per lane.
+    const trace::CompileCounters before = trace::compileCounters();
+    std::vector<trace::DynOp> compiled;
+    runCached(&compiled);
+    const trace::CompileCounters after = trace::compileCounters();
+
+    ASSERT_EQ(compiled.size(), want.size());
+    for (size_t i = 0; i < want.size(); ++i)
+        ASSERT_TRUE(sameDynOp(want[i], compiled[i])) << "kernel op " << i;
+    EXPECT_EQ(after.compiledOps - before.compiledOps, ct->opCount());
+
+    // With AVX2 live, every memory op relocated all 4 lanes vectorized.
+    const uint64_t memOps = ct->memAddr().size();
+    if (trace::simdEnabled() && memOps > 0) {
+        EXPECT_EQ(after.simdLanes - before.simdLanes, 4 * memOps);
+    }
+
+    EXPECT_EQ(cache.compiledEntries(), 1u);
+    EXPECT_GT(cache.compiledBytes(), 0u);
+}
+
+TEST(CompiledBatch, MixedShapeBatchFallsBackBitIdentical)
+{
+    trace::setCompileEnabled(true);
+    auto svc = svc::buildService("memc");
+    ASSERT_NE(svc, nullptr);
+    mem::HeapAllocator alloc(mem::AllocPolicy::SimrAware);
+    auto reqs = genRequests(*svc, 4, 21);
+    ASSERT_EQ(reqs.size(), 4u);
+
+    auto inits4 = [&]() {
+        std::vector<trace::ThreadInit> v;
+        for (int l = 0; l < 4; ++l)
+            v.push_back(svc::makeThreadInit(
+                *svc, reqs[static_cast<size_t>(l)], l,
+                static_cast<uint64_t>(l), alloc));
+        return v;
+    };
+
+    for (auto policy : {simt::ReconvPolicy::MinSpPc,
+                        simt::ReconvPolicy::StackIpdom}) {
+        simt::LockstepEngine ref(svc->program(), policy, 4,
+                                 oneBatchOf(inits4()));
+        std::vector<trace::DynOp> want;
+        drainEngine(ref, &want);
+        ASSERT_FALSE(want.empty());
+
+        // Three cached runs: capture, cursor replay, compiled replay.
+        // Distinct requests give distinct (likely shape-unequal)
+        // kernels, so the batch kernel declines and the per-lane
+        // compiled cursors run through the full grouping/divergence
+        // machinery -- which must stay bit-identical throughout.
+        trace::TraceCache cache(64 << 20);
+        for (int run = 0; run < 3; ++run) {
+            simt::LockstepEngine e(svc->program(), policy, 4,
+                                   oneBatchOf(inits4()),
+                                   simt::SpinEscapeConfig(), &cache);
+            std::vector<trace::DynOp> got;
+            drainEngine(e, &got);
+            ASSERT_EQ(got.size(), want.size()) << "run " << run;
+            for (size_t i = 0; i < want.size(); ++i)
+                ASSERT_TRUE(sameDynOp(want[i], got[i]))
+                    << "run " << run << " op " << i;
+        }
+    }
+}
+
+TEST(TraceCache, CompiledKernelsEvictUnderThrashingBudget)
+{
+    trace::setCompileEnabled(true);
+    auto svc = svc::buildService("urlshort");
+    ASSERT_NE(svc, nullptr);
+    trace::ProgramIndex pi(svc->program());
+    mem::HeapAllocator alloc(mem::AllocPolicy::SimrAware);
+    auto reqs = genRequests(*svc, 48, 13);
+
+    // Budget far below the working set: kernels are built on second
+    // hits and must be evicted *with* their entries, never leaking the
+    // compiled-byte accounting.
+    trace::TraceCache cache(64 << 10);
+    uint64_t kernels = 0;
+    for (const auto &req : reqs) {
+        trace::ThreadInit init =
+            svc::makeThreadInit(*svc, req, 0, 0, alloc);
+        bool dedup = false;
+        std::shared_ptr<const trace::CompiledTrace> k;
+        auto t = cache.lookup(pi.fingerprint(), init, &dedup, &k);
+        if (t == nullptr) {
+            cache.insert(pi.fingerprint(), init, captureRequest(pi, init));
+            t = cache.lookup(pi.fingerprint(), init, &dedup, &k);
+            ASSERT_NE(t, nullptr);  // just inserted, hottest entry
+        }
+        // Second hit on the (still resident) entry: compiles.
+        t = cache.lookup(pi.fingerprint(), init, &dedup, &k);
+        ASSERT_NE(t, nullptr);
+        ASSERT_NE(k, nullptr);
+        EXPECT_EQ(k->opCount(), t->opCount());
+        ++kernels;
+
+        // The kernel must replay the full request in this frame.
+        trace::CompiledCursor c(pi);
+        c.start(k, init);
+        trace::StepResult r;
+        while (!c.done())
+            c.step(r);
+        EXPECT_EQ(c.dynCount(), t->opCount());
+
+        // Accounting invariants hold at every step of the thrash.
+        EXPECT_LE(cache.compiledEntries(), cache.entries());
+        EXPECT_LE(cache.compiledBytes(), cache.bytesResident());
+        EXPECT_LE(cache.bytesResident(),
+                  cache.budgetBytes() + (64 << 10) * 16);
+    }
+    EXPECT_GT(kernels, 0u);
+    EXPECT_GT(cache.evictions(), 0u);
+
+    cache.clear();
+    EXPECT_EQ(cache.entries(), 0u);
+    EXPECT_EQ(cache.bytesResident(), 0u);
+    EXPECT_EQ(cache.compiledEntries(), 0u);
+    EXPECT_EQ(cache.compiledBytes(), 0u);
+}
+
+TEST(TraceCache, ConcurrentCompileAndReplay)
+{
+    trace::setCompileEnabled(true);
+    auto svc = svc::buildService("urlshort");
+    ASSERT_NE(svc, nullptr);
+    trace::ProgramIndex pi(svc->program());
+    mem::HeapAllocator alloc(mem::AllocPolicy::SimrAware);
+    auto reqs = genRequests(*svc, 48, 3);
+
+    // Generous budget: this test is about the compile-under-lock path
+    // racing replay, not eviction. Every worker sweeps the full request
+    // list three times, so shared entries cross the second-hit
+    // threshold while other workers replay them.
+    trace::TraceCache cache(256 << 20);
+    std::atomic<uint64_t> kernelOps{0};
+    std::atomic<uint64_t> cursorOps{0};
+    std::vector<std::thread> workers;
+    for (int w = 0; w < 4; ++w) {
+        workers.emplace_back([&, w]() {
+            for (int pass = 0; pass < 3; ++pass) {
+                for (const auto &req : reqs) {
+                    trace::ThreadInit init = svc::makeThreadInit(
+                        *svc, req, 0, static_cast<uint64_t>(w), alloc);
+                    bool dedup = false;
+                    std::shared_ptr<const trace::CompiledTrace> k;
+                    auto t = cache.lookup(pi.fingerprint(), init,
+                                          &dedup, &k);
+                    if (t == nullptr) {
+                        cache.insert(pi.fingerprint(), init,
+                                     captureRequest(pi, init));
+                        continue;
+                    }
+                    if (k != nullptr) {
+                        trace::CompiledCursor c(pi);
+                        c.start(k, init);
+                        trace::StepResult r;
+                        while (!c.done())
+                            c.step(r);
+                        kernelOps.fetch_add(c.dynCount());
+                    } else {
+                        trace::ReplayCursor c(pi);
+                        c.start(t, init);
+                        trace::StepResult r;
+                        while (!c.done())
+                            c.step(r);
+                        cursorOps.fetch_add(c.dynCount());
+                    }
+                }
+            }
+        });
+    }
+    for (auto &t : workers)
+        t.join();
+
+    // Pass 1 misses/captures, pass 2 replays (second hits compile), so
+    // pass 3 must have replayed through kernels.
+    EXPECT_GT(kernelOps.load(), 0u);
+    EXPECT_GT(cache.compiledEntries(), 0u);
+    EXPECT_LE(cache.compiledEntries(), cache.entries());
+    EXPECT_LE(cache.compiledBytes(), cache.bytesResident());
+}
+
+TEST(StreamTrace, CompiledStreamMatchesDenseReplayScalar)
+{
+    trace::setCompileEnabled(true);
+    auto svc = svc::buildService("memc");
+    ASSERT_NE(svc, nullptr);
+    auto reqs = genRequests(*svc, 32, 5);
+
+    trace::ScalarStream live(
+        svc->program(),
+        makeScalarProvider(*svc, reqs, 0, mem::AllocPolicy::SimrAware),
+        nullptr);
+    trace::CapturingStream cap(svc->program(), live);
+    std::vector<trace::DynOp> ops;
+    trace::DynOp op;
+    while (cap.next(op)) {
+        ops.push_back(trace::DynOp{});
+        ops.back().copyFrom(op);
+    }
+    auto t = cap.take();
+    ASSERT_NE(t, nullptr);
+
+    auto k = trace::compileStream(t);
+    ASSERT_NE(k, nullptr);
+    ASSERT_EQ(k->opCount(), t->opCount());
+    ASSERT_EQ(k->totalCompleted(), reqs.size());
+
+    // Op-by-op: the kernel path must emit the dense columns exactly.
+    trace::ReplayStream replay(svc->program(), t, k);
+    size_t i = 0;
+    while (replay.next(op)) {
+        ASSERT_LT(i, ops.size());
+        ASSERT_TRUE(sameDynOp(ops[i], op)) << "op " << i;
+        ++i;
+    }
+    EXPECT_EQ(i, ops.size());
+    EXPECT_EQ(replay.requestsCompleted(), reqs.size());
+
+    // drainCompiled: a partially-consumed compiled stream finishes in
+    // O(1) with the precomputed aggregates.
+    trace::ReplayStream drain(svc->program(), t, k);
+    for (int j = 0; j < 10; ++j)
+        ASSERT_TRUE(drain.next(op));
+    uint64_t total = 10;
+    ASSERT_TRUE(drain.drainCompiled(&total));
+    EXPECT_EQ(total, t->opCount());
+    EXPECT_EQ(drain.requestsCompleted(), reqs.size());
+
+    // Without a kernel the caller must fall back to the per-op drain.
+    trace::ReplayStream dense(svc->program(), t);
+    uint64_t unused = 0;
+    EXPECT_FALSE(dense.drainCompiled(&unused));
+}
+
+TEST(StreamTrace, CompiledStreamMatchesDenseReplayDivergent)
+{
+    trace::setCompileEnabled(true);
+    auto svc = svc::buildService("memc");
+    ASSERT_NE(svc, nullptr);
+    mem::HeapAllocator alloc(mem::AllocPolicy::SimrAware);
+    auto reqs = genRequests(*svc, 8, 9);
+
+    std::vector<trace::ThreadInit> inits;
+    for (int l = 0; l < static_cast<int>(reqs.size()); ++l)
+        inits.push_back(svc::makeThreadInit(
+            *svc, reqs[static_cast<size_t>(l)], l,
+            static_cast<uint64_t>(l), alloc));
+
+    // A divergent lockstep batch: partial masks, path switches and
+    // multi-lane memory payloads all flow into the stream columns.
+    simt::LockstepEngine engine(svc->program(),
+                                simt::ReconvPolicy::MinSpPc, 8,
+                                oneBatchOf(std::move(inits)));
+    trace::CapturingStream cap(svc->program(), engine);
+    std::vector<trace::DynOp> ops;
+    trace::DynOp op;
+    while (cap.next(op)) {
+        ops.push_back(trace::DynOp{});
+        ops.back().copyFrom(op);
+    }
+    auto t = cap.take();
+    ASSERT_NE(t, nullptr);
+    EXPECT_GT(engine.stats().divergeEvents, 0u)
+        << "batch must diverge for this test to mean anything";
+
+    auto k = trace::compileStream(t);
+    ASSERT_NE(k, nullptr);
+    ASSERT_EQ(k->opCount(), t->opCount());
+    ASSERT_EQ(k->totalCompleted(), engine.requestsCompleted());
+
+    trace::ReplayStream replay(svc->program(), t, k);
+    size_t i = 0;
+    while (replay.next(op)) {
+        ASSERT_LT(i, ops.size());
+        ASSERT_TRUE(sameDynOp(ops[i], op)) << "op " << i;
+        ++i;
+    }
+    EXPECT_EQ(i, ops.size());
+    EXPECT_EQ(replay.requestsCompleted(), engine.requestsCompleted());
 }
