@@ -32,7 +32,11 @@
  *    front-end sweep.
  *
  *  - bench mode: measures two sweeps live vs cold vs warm and emits
- *    BENCH_trace.json. The headline is the *front-end* sweep -- the
+ *    BENCH_trace.json. The cold tier is measured twice -- with the
+ *    static-tier admission fast path (proof-driven capture, the
+ *    default) and with SIMR_STATIC_TIER=0 (every capture pays the
+ *    per-op dynamic taint walk) -- both bit-identical to live; a
+ *    micro interpret+capture comparison isolates the per-op saving. The headline is the *front-end* sweep -- the
  *    functional half of the simulator (request generation, batching,
  *    interpretation, lockstep grouping), which is what the caches
  *    remove; a warm re-run serves every cell straight from the stream
@@ -49,10 +53,12 @@
  */
 
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "analysis/cache.h"
 #include "bench_common.h"
 #include "common/parallel.h"
 #include "mem/allocator.h"
@@ -341,6 +347,82 @@ microStepCosts(uint64_t seed)
 }
 
 /**
+ * Per-op cost of the CaptureBuilder alone -- driven from a
+ * pre-recorded step stream, so the interpreter is out of the loop --
+ * with and without the static-tier admission fast path. Uses
+ * hdsearch-leaf (statically proven tier 1, and long enough that the
+ * per-capture allocation cost amortizes away), where the proof lets
+ * the builder read every relocation kind from a flat table instead of
+ * interpreting the taint lattice per op.
+ */
+struct CaptureCosts
+{
+    double dynNs = 0;      ///< CaptureBuilder, dynamic taint walk
+    double staticNs = 0;   ///< CaptureBuilder, proof-driven
+    bool engaged = false;  ///< static fast path actually admitted
+};
+
+CaptureCosts
+microCaptureCosts(uint64_t seed)
+{
+    CaptureCosts c;
+    auto svcp = svc::buildService("hdsearch-leaf");
+    if (svcp == nullptr)
+        return c;
+    auto ca = analysis::gateAndProve(svcp->program());
+    trace::ProgramIndex pi(svcp->program());
+    mem::HeapAllocator alloc(mem::AllocPolicy::SimrAware);
+    auto reqs = genRequests(*svcp, 1, seed);
+    trace::ThreadInit init =
+        svc::makeThreadInit(*svcp, reqs[0], 0, 0, alloc);
+
+    // Record the request's step stream once; the timed loops replay it
+    // into the builder, so the interpreter is out of the measurement.
+    trace::ThreadState live(pi.program());
+    trace::StepResult r;
+    live.reset(init);
+    std::vector<trace::StepResult> steps;
+    while (!live.done()) {
+        live.step(r);
+        steps.push_back(r);
+    }
+    const uint64_t n = steps.size();
+    const int reps = static_cast<int>(
+        std::max<uint64_t>(1, 2'000'000 / std::max<uint64_t>(n, 1)));
+    volatile uint64_t sink = 0;
+
+    // Min over three timed chunks: the runs are deterministic, so any
+    // spread is scheduling/frequency noise that only ever adds time.
+    auto time_ns = [&](trace::CaptureBuilder &b) {
+        double best = 0;
+        for (int chunk = 0; chunk < 3; ++chunk) {
+            auto t0 = std::chrono::steady_clock::now();
+            for (int rep = 0; rep < reps; ++rep) {
+                b.reset(init);
+                for (const trace::StepResult &s : steps)
+                    b.onStep(s);
+                auto t = b.finish();
+                sink = sink + t->opCount();
+            }
+            double ns = secondsSince(t0) * 1e9 /
+                (static_cast<double>(n) * reps);
+            if (chunk == 0 || ns < best)
+                best = ns;
+        }
+        return best;
+    };
+
+    trace::CaptureBuilder dyn(pi);
+    c.dynNs = time_ns(dyn);
+    trace::CaptureBuilder fast(pi);
+    fast.setStaticProof(ca->proof);
+    fast.reset(init);
+    c.engaged = fast.staticFastPath();
+    c.staticNs = time_ns(fast);
+    return c;
+}
+
+/**
  * The superop-kernel bit-identity matrix: {live, cold, warm-cursor,
  * prime, warm-compiled} x threads {1, 4} x SIMD {on, off}, everything
  * compared against the live sweep, plus a front-end live vs
@@ -521,11 +603,41 @@ runBench(const TimingOptions &opt)
     // compiled replay (superop kernels, built by an untimed priming
     // pass so the warm numbers never carry one-time compile cost).
     double fe_live_secs = 0, fe_cold_secs = 0;
+    double fe_cold_dyn_secs = 0;
     double fe_cursor_secs = 0, fe_warm_secs = 0;
     auto fe_live = timedFrontEndSweep(live_cells, 2, &fe_live_secs);
     trace::setCompileEnabled(false);
-    clearCaches();
-    auto fe_cold = frontEndSweep(cached_cells, &fe_cold_secs);
+
+    // A cold pass can only be repeated by clearing the caches first;
+    // min-of-2 with a clear before each rep filters the first-touch
+    // page faults of the arena allocations (which would otherwise bias
+    // whichever cold variant runs first).
+    auto coldSweep = [&](double *secs) {
+        std::vector<FrontEndRun> runs;
+        *secs = 0;
+        for (int r = 0; r < 2; ++r) {
+            clearCaches();
+            double s = 0;
+            runs = frontEndSweep(cached_cells, &s);
+            if (r == 0 || s < *secs)
+                *secs = s;
+        }
+        return runs;
+    };
+    auto fe_cold = coldSweep(&fe_cold_secs);
+
+    // The same cold sweep with the static-tier admission fast path off:
+    // SIMR_STATIC_TIER=0 makes every capture pay the per-op dynamic
+    // taint walk even on proven-tier-1 programs. The captured traces
+    // are bit-identical either way (checked below), so the delta is
+    // pure capture cost the proof removes.
+    uint64_t static_captures = 0;
+    for (const auto &run : fe_cold)
+        static_captures += run.reuse.staticCaptures;
+    setenv("SIMR_STATIC_TIER", "0", 1);
+    auto fe_cold_dyn = coldSweep(&fe_cold_dyn_secs);
+    setenv("SIMR_STATIC_TIER", "1", 1);
+
     auto fe_cursor = timedFrontEndSweep(cached_cells, 2, &fe_cursor_secs);
 
     // Per-service compiled-vs-cursor split, while no kernels exist yet:
@@ -568,6 +680,8 @@ runBench(const TimingOptions &opt)
         sameSweep(cached_cells, live, warm, "warm", &diverged) &
         sameFrontEndSweep(cached_cells, fe_live, fe_cold, "fe-cold",
                           &diverged) &
+        sameFrontEndSweep(cached_cells, fe_live, fe_cold_dyn,
+                          "fe-cold-dynamic-taint", &diverged) &
         sameFrontEndSweep(cached_cells, fe_live, fe_cursor, "fe-cursor",
                           &diverged) &
         sameFrontEndSweep(cached_cells, fe_live, fe_warm, "fe-warm",
@@ -594,8 +708,11 @@ runBench(const TimingOptions &opt)
     f.header({"sweep", "seconds", "speedup"});
     f.row({"live (no cache)", Table::num(fe_live_secs, 2),
            Table::mult(1.0)});
-    f.row({"cold (capture)", Table::num(fe_cold_secs, 2),
+    f.row({"cold (capture, static tier)", Table::num(fe_cold_secs, 2),
            Table::mult(fe_live_secs / fe_cold_secs)});
+    f.row({"cold (capture, dynamic taint)",
+           Table::num(fe_cold_dyn_secs, 2),
+           Table::mult(fe_live_secs / fe_cold_dyn_secs)});
     f.row({"warm-cursor (replay)", Table::num(fe_cursor_secs, 2),
            Table::mult(fe_live_secs / fe_cursor_secs)});
     f.row({"warm-compiled (superop)", Table::num(fe_warm_secs, 2),
@@ -632,6 +749,19 @@ runBench(const TimingOptions &opt)
     u.row({"CompiledStreamCursor", Table::num(micro.cstreamNs, 2)});
     u.print();
 
+    CaptureCosts cap = microCaptureCosts(opt.seed);
+    Table sc("Capture cost per op (hdsearch-leaf, statically proven "
+             "tier 1; CaptureBuilder over a pre-recorded step stream)");
+    sc.header({"capture path", "ns/op", "speedup"});
+    sc.row({"dynamic taint walk", Table::num(cap.dynNs, 2),
+            Table::mult(1.0)});
+    sc.row({std::string("static proof table") +
+            (cap.engaged ? "" : " (NOT ENGAGED)"),
+            Table::num(cap.staticNs, 2),
+            Table::mult(cap.staticNs > 0 ?
+                        cap.dynNs / cap.staticNs : 0.0)});
+    sc.print();
+
     Table t("Full timing sweep (front end + timing core; warm speedup "
             "bounded by the core's share)");
     t.header({"sweep", "seconds", "speedup"});
@@ -666,6 +796,8 @@ runBench(const TimingOptions &opt)
         "\"configs\": 4, \"requests\": " + std::to_string(opt.requests) +
         ", \"live_seconds\": " + std::to_string(fe_live_secs) +
         ", \"cold_seconds\": " + std::to_string(fe_cold_secs) +
+        ", \"cold_dynamic_taint_seconds\": " +
+        std::to_string(fe_cold_dyn_secs) +
         ", \"warm_cursor_seconds\": " + std::to_string(fe_cursor_secs) +
         ", \"warm_seconds\": " + std::to_string(fe_warm_secs) +
         ", \"timing_live_seconds\": " + std::to_string(live_secs) +
@@ -693,6 +825,21 @@ runBench(const TimingOptions &opt)
                   "\"replay_stream\": %.2f, \"compiled_stream\": %.2f}",
                   micro.liveNs, micro.cursorNs, micro.compiledNs,
                   micro.streamNs, micro.cstreamNs);
+    json += buf;
+    std::snprintf(buf, sizeof(buf),
+                  ", \"static_tier\": {\"cold_seconds\": %.4f, "
+                  "\"cold_dynamic_taint_seconds\": %.4f, "
+                  "\"capture_speedup\": %.2f, "
+                  "\"static_captures\": %llu, "
+                  "\"micro_capture_dynamic_ns\": %.2f, "
+                  "\"micro_capture_static_ns\": %.2f, "
+                  "\"micro_engaged\": %s}",
+                  fe_cold_secs, fe_cold_dyn_secs,
+                  fe_cold_secs > 0 ? fe_cold_dyn_secs / fe_cold_secs
+                                   : 0.0,
+                  static_cast<unsigned long long>(static_captures),
+                  cap.dynNs, cap.staticNs,
+                  cap.engaged ? "true" : "false");
     json += buf;
     json += ", \"per_service_compiled\": [";
     for (size_t i = 0; i < names.size(); ++i) {

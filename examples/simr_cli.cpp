@@ -3,7 +3,8 @@
  * simr_cli: run any experiment from the command line.
  *
  *   simr_cli list
- *   simr_cli analyze <service>|--all [--json] [--crosscheck]
+ *   simr_cli analyze <service>|--all [--json] [--dataflow]
+ *            [--crosscheck]
  *   simr_cli efficiency <service> [--policy naive|api|arg]
  *            [--reconv stack|minsp] [--batch N] [--requests N]
  *   simr_cli timing <service> --config cpu|smt8|rpu|gpu [--requests N]
@@ -32,6 +33,7 @@
 #include <string>
 
 #include "analysis/analyzer.h"
+#include "analysis/cache.h"
 #include "analysis/crosscheck.h"
 #include "common/parallel.h"
 #include "common/table.h"
@@ -73,7 +75,8 @@ usage()
     std::fprintf(stderr,
         "usage:\n"
         "  simr_cli list\n"
-        "  simr_cli analyze <service>|--all [--json] [--crosscheck]\n"
+        "  simr_cli analyze <service>|--all [--json] [--dataflow]\n"
+        "           [--crosscheck]\n"
         "  simr_cli efficiency <service> [--policy naive|api|arg]\n"
         "           [--reconv stack|minsp] [--batch N] [--requests N]\n"
         "  simr_cli timing <service> --config cpu|smt8|rpu|gpu\n"
@@ -180,10 +183,49 @@ runCrossCheck(const svc::Service &svc, const analysis::Report &report,
     return cs.ok();
 }
 
+/** Format a PC the way the divergence reports do. */
+std::string
+hexPc(isa::Pc pc)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "0x%llx",
+                  static_cast<unsigned long long>(pc));
+    return buf;
+}
+
+/**
+ * Render one program's static dataflow verdicts: the per-branch
+ * uniformity table and per-memory-op coalescibility table. Only used
+ * for single-service `analyze --dataflow`; --all sticks to the
+ * cross-service summary.
+ */
+void
+printDataflowDetail(const isa::Program &prog, const analysis::Report &r)
+{
+    auto fname = [&](int f) {
+        return f >= 0 ? prog.func(f).name : std::string("?");
+    };
+    Table bt("branch uniformity: " + r.program);
+    bt.header({"pc", "function", "uniformity", "id-dep", "frame-dep"});
+    for (const auto &b : r.dataflow.branches)
+        bt.row({hexPc(b.pc), fname(b.func),
+                analysis::uniformityName(b.uniformity),
+                b.mayId ? "may" : "no", b.mayFrame ? "may" : "no"});
+    bt.print();
+    Table mt("memory coalescibility: " + r.program);
+    mt.header({"pc", "function", "op", "class", "id-dep", "frame-dep"});
+    for (const auto &m : r.dataflow.mems)
+        mt.row({hexPc(m.pc), fname(m.func), isa::opName(m.op),
+                analysis::memClassName(m.cls),
+                m.mayId ? "may" : "no", m.mayFrame ? "may" : "no"});
+    mt.print();
+}
+
 int
 cmdAnalyze(const std::string &target, int argc, char **argv)
 {
     bool json = has(argc, argv, "--json");
+    bool dataflow = has(argc, argv, "--dataflow");
     bool crosscheck = has(argc, argv, "--crosscheck");
 
     std::vector<std::string> names;
@@ -193,6 +235,10 @@ cmdAnalyze(const std::string &target, int argc, char **argv)
         names.push_back(target);
     }
 
+    Table dft("static dataflow: taint tier, uniformity, coalescibility");
+    dft.header({"service", "tier", "branches", "uniform", "per-batch",
+                "may-div", "mems", "coalesced", "affine", "scattered"});
+
     int total_errors = 0;
     int total_warnings = 0;
     bool cross_ok = true;
@@ -201,6 +247,25 @@ cmdAnalyze(const std::string &target, int argc, char **argv)
         if (!svc)
             return 2;
         auto report = analysis::analyze(svc->program());
+        if (dataflow && report.dataflow.ran) {
+            const auto &df = report.dataflow;
+            using analysis::MemClass;
+            using analysis::Uniformity;
+            dft.row({n, std::to_string(df.tierBound),
+                     std::to_string(df.branches.size()),
+                     std::to_string(
+                         df.countUniformity(Uniformity::UniformAlways)),
+                     std::to_string(df.countUniformity(
+                         Uniformity::UniformPerBatch)),
+                     std::to_string(
+                         df.countUniformity(Uniformity::MayDiverge)),
+                     std::to_string(df.mems.size()),
+                     std::to_string(df.countMemClass(MemClass::Uniform)),
+                     std::to_string(
+                         df.countMemClass(MemClass::AffineStrided)),
+                     std::to_string(
+                         df.countMemClass(MemClass::Scattered))});
+        }
         if (json) {
             std::printf("%s", report.json().c_str());
         } else {
@@ -216,9 +281,14 @@ cmdAnalyze(const std::string &target, int argc, char **argv)
         }
         total_errors += report.errors();
         total_warnings += report.warnings();
+        if (dataflow && !json && names.size() == 1 &&
+            report.dataflow.ran)
+            printDataflowDetail(svc->program(), report);
         if (crosscheck && report.ok())
             cross_ok = runCrossCheck(*svc, report, 2400) && cross_ok;
     }
+    if (dataflow && !json)
+        dft.print();
     if (!json) {
         std::printf("analyzed %zu program(s): %d error(s), "
                     "%d warning(s)%s\n", names.size(), total_errors,
@@ -423,8 +493,10 @@ cmdStats(const std::string &service, int argc, char **argv)
 
     // Trace-cache totals depend on cross-thread scheduling, so runCells
     // never records them into its deterministic per-cell registries;
-    // snapshot them here, once, right before exposition.
+    // snapshot them here, once, right before exposition. Same for the
+    // analysis cache.
     recordTraceCacheStats();
+    recordAnalysisStats();
 
     if (has(argc, argv, "--json"))
         std::printf("%s", reg.jsonPage().c_str());
@@ -449,6 +521,8 @@ traceChipLevel(const svc::Service &svc, const std::string &name,
     tr->threadName(kChipPid, 1, "engine 0: " + name);
 
     obs::DivergenceProfiler prof(svc.program());
+    prof.setStaticHints(
+        analysis::gateAndProve(svc.program())->report.dataflow);
     obs::SpanRecorder spans(tr, kChipPid, 1);
     obs::MultiObserver tee({&prof, &spans});
 
@@ -559,10 +633,21 @@ cmdHotspots(const std::string &target, int argc, char **argv)
         if (!svc)
             return 2;
         obs::DivergenceProfiler prof(svc->program());
+        prof.setStaticHints(
+            analysis::gateAndProve(svc->program())->report.dataflow);
         auto r = measureEfficiency(*svc, batch::Policy::PerApiArgSize,
                                    simt::ReconvPolicy::MinSpPc, width,
                                    requests, 42, &prof);
         prof.report(top_n).print();
+        std::printf("%s: %llu/%llu divergence events at "
+                    "statically may-diverge branches, %llu at "
+                    "proven-uniform branches\n", n.c_str(),
+                    static_cast<unsigned long long>(
+                        prof.predictedDivergeEvents()),
+                    static_cast<unsigned long long>(
+                        prof.totalDivergeEvents()),
+                    static_cast<unsigned long long>(
+                        prof.alwaysUniformViolations()));
         bool ok = prof.totalMaskedSlots() == r.stats.maskedSlots &&
             prof.totalDivergeEvents() == r.stats.divergeEvents &&
             prof.totalReconvMerges() == r.stats.reconvMerges;

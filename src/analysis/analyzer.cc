@@ -6,7 +6,9 @@
 #include <cstdio>
 #include <functional>
 
+#include "analysis/cache.h"
 #include "analysis/cfg.h"
+#include "analysis/dataflow.h"
 #include "analysis/dom.h"
 #include "common/logging.h"
 #include "isa/builder.h"
@@ -359,13 +361,22 @@ analyze(const Program &prog)
         }
     }
 
-    // Stable output order: by location, errors first within a location.
+    // Pass 5: whole-program dataflow (taint tiers, branch uniformity,
+    // memory coalescibility). Only meaningful on a program every other
+    // pass accepted: the supergraph assumes valid targets and a main.
+    if (r.ok())
+        runDataflow(prog, cfg, &r.dataflow);
+
+    // Stable output order: function, then PC, then diagnostic code —
+    // deterministic, so golden files and cross-run diffs stay clean.
     std::stable_sort(r.diags.begin(), r.diags.end(),
                      [](const Diag &a, const Diag &b) {
-                         if (a.block != b.block)
-                             return a.block < b.block;
-                         return static_cast<int>(a.sev) >
-                             static_cast<int>(b.sev);
+                         if (a.func != b.func)
+                             return a.func < b.func;
+                         if (a.pc != b.pc)
+                             return a.pc < b.pc;
+                         return static_cast<int>(a.code) <
+                             static_cast<int>(b.code);
                      });
     return r;
 }
@@ -373,16 +384,9 @@ analyze(const Program &prog)
 void
 gateOrDie(const Program &prog)
 {
-    Report r = analyze(prog);
-    if (r.ok())
-        return;
-    for (const auto &d : r.diags)
-        if (d.sev == Severity::Error)
-            simr_warn("analysis: %s: %s", prog.name().c_str(),
-                      d.str().c_str());
-    simr_fatal("analysis: program '%s' has %d error finding(s); refusing "
-               "to simulate an ill-formed program", prog.name().c_str(),
-               r.errors());
+    // Delegates to the fingerprint-keyed cache: repeated runner / cell
+    // invocations over the same service re-use one analysis.
+    (void)gateAndProve(prog);
 }
 
 } // namespace simr::analysis

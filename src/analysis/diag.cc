@@ -38,6 +38,55 @@ severityName(Severity s)
     return "unknown";
 }
 
+const char *
+uniformityName(Uniformity u)
+{
+    switch (u) {
+      case Uniformity::MayDiverge:      return "may-diverge";
+      case Uniformity::UniformPerBatch: return "uniform-per-batch";
+      case Uniformity::UniformAlways:   return "uniform";
+    }
+    return "unknown";
+}
+
+const char *
+memClassName(MemClass c)
+{
+    switch (c) {
+      case MemClass::Uniform:       return "uniform";
+      case MemClass::AffineStrided: return "affine";
+      case MemClass::Scattered:     return "scattered";
+    }
+    return "unknown";
+}
+
+int
+DataflowInfo::countUniformity(Uniformity u) const
+{
+    int n = 0;
+    for (const auto &b : branches)
+        n += b.uniformity == u ? 1 : 0;
+    return n;
+}
+
+int
+DataflowInfo::countMemClass(MemClass c) const
+{
+    int n = 0;
+    for (const auto &m : mems)
+        n += m.cls == c ? 1 : 0;
+    return n;
+}
+
+const BranchFlow *
+DataflowInfo::branchAt(isa::Pc pc) const
+{
+    for (const auto &b : branches)
+        if (b.pc == pc)
+            return &b;
+    return nullptr;
+}
+
 std::string
 Diag::str() const
 {
@@ -138,7 +187,47 @@ Report::json() const
                       b.computedIpdom, b.expectedMergePc);
         out += buf;
     }
-    out += branches.empty() ? "]\n" : "\n  ]\n";
+    out += branches.empty() ? "]," : "\n  ],";
+    out += "\n  \"dataflow\": {\n";
+    std::snprintf(buf, sizeof(buf),
+                  "    \"ran\": %s,\n    \"tier_bound\": %d,\n"
+                  "    \"may_id_dep\": %s,\n    \"may_frame_dep\": %s,\n"
+                  "    \"all_uniform_per_batch\": %s,\n",
+                  dataflow.ran ? "true" : "false", dataflow.tierBound,
+                  dataflow.mayIdDep ? "true" : "false",
+                  dataflow.mayFrameDep ? "true" : "false",
+                  dataflow.allUniformPerBatch ? "true" : "false");
+    out += buf;
+    out += "    \"branches\": [";
+    for (size_t i = 0; i < dataflow.branches.size(); ++i) {
+        const BranchFlow &b = dataflow.branches[i];
+        std::snprintf(buf, sizeof(buf),
+                      "%s\n      {\"func\": %d, \"block\": %d, "
+                      "\"pc\": %" PRIu64 ", \"uniformity\": \"%s\", "
+                      "\"may_id\": %s, \"may_frame\": %s}",
+                      i ? "," : "", b.func, b.block, b.pc,
+                      uniformityName(b.uniformity),
+                      b.mayId ? "true" : "false",
+                      b.mayFrame ? "true" : "false");
+        out += buf;
+    }
+    out += dataflow.branches.empty() ? "],\n" : "\n    ],\n";
+    out += "    \"mems\": [";
+    for (size_t i = 0; i < dataflow.mems.size(); ++i) {
+        const MemFlow &m = dataflow.mems[i];
+        std::snprintf(buf, sizeof(buf),
+                      "%s\n      {\"func\": %d, \"block\": %d, "
+                      "\"pc\": %" PRIu64 ", \"op\": \"%s\", "
+                      "\"class\": \"%s\", \"addr_kind\": %d, "
+                      "\"may_id\": %s, \"may_frame\": %s}",
+                      i ? "," : "", m.func, m.block, m.pc,
+                      isa::opName(m.op), memClassName(m.cls), m.addrKind,
+                      m.mayId ? "true" : "false",
+                      m.mayFrame ? "true" : "false");
+        out += buf;
+    }
+    out += dataflow.mems.empty() ? "]\n" : "\n    ]\n";
+    out += "  }\n";
     out += "}\n";
     return out;
 }

@@ -51,6 +51,29 @@ const char *codeName(Code c);
 /** "error" / "warning" / "note". */
 const char *severityName(Severity s);
 
+/**
+ * Static branch-uniformity verdict (the analysis-side mirror of
+ * trace::BranchHint; kept separate so diag.h stays dependency-free).
+ */
+enum class Uniformity : uint8_t {
+    MayDiverge = 0,       ///< no uniformity proof
+    UniformPerBatch = 1,  ///< uniform when all lanes share (api, argLen)
+    UniformAlways = 2,    ///< uniform under any batch mix
+};
+
+/** Static memory-access classification per memory instruction. */
+enum class MemClass : uint8_t {
+    Uniform = 0,        ///< one address shared by every lane
+    AffineStrided = 1,  ///< per-lane segment base + uniform offset
+    Scattered = 2,      ///< request-data-dependent addressing
+};
+
+/** Short stable name, e.g. "uniform-per-batch" / "may-diverge". */
+const char *uniformityName(Uniformity u);
+
+/** Short stable name, e.g. "affine" / "scattered". */
+const char *memClassName(MemClass c);
+
 /** One finding. */
 struct Diag
 {
@@ -84,6 +107,55 @@ struct BranchInfo
                                   ///  (0 when computedIpdom < 0)
 };
 
+/** Per-branch dataflow verdict (one entry per conditional branch). */
+struct BranchFlow
+{
+    int func = -1;
+    int block = -1;
+    isa::Pc pc = 0;
+    uint32_t flat = 0;     ///< flat static index (pc - base) / kInstBytes
+    Uniformity uniformity = Uniformity::MayDiverge;
+    bool mayId = false;    ///< outcome may depend on reqId / tid
+    bool mayFrame = false; ///< outcome may depend on frame placement
+    bool reached = true;   ///< reachable from main (else vacuously uniform)
+};
+
+/** Per-memory-instruction dataflow verdict. */
+struct MemFlow
+{
+    int func = -1;
+    int block = -1;
+    isa::Pc pc = 0;
+    uint32_t flat = 0;
+    isa::Op op = isa::Op::Load;
+    MemClass cls = MemClass::Scattered;
+    int8_t addrKind = -1;  ///< exact trace::AddrKind value, -1 unknown
+    bool mayId = false;    ///< address may depend on reqId / tid
+    bool mayFrame = false; ///< address may depend on frame placement
+    bool reached = true;
+};
+
+/**
+ * Whole-program static dataflow results: the taint tier bound, every
+ * branch's uniformity class and every memory op's access class. Sorted
+ * by (func, pc) — deterministic rendering order.
+ */
+struct DataflowInfo
+{
+    bool ran = false;        ///< pass executed (program was analyzable)
+    int tierBound = 3;       ///< static trace-cache tier bound (1..3)
+    bool mayIdDep = true;
+    bool mayFrameDep = true;
+    bool allUniformPerBatch = false;
+    std::vector<BranchFlow> branches;
+    std::vector<MemFlow> mems;
+
+    int countUniformity(Uniformity u) const;
+    int countMemClass(MemClass c) const;
+
+    const BranchFlow *branchAt(isa::Pc pc) const;
+};
+
 /** Full analyzer output for one program. */
 struct Report
 {
@@ -93,6 +165,7 @@ struct Report
     size_t numInsts = 0;
     std::vector<Diag> diags;
     std::vector<BranchInfo> branches;  ///< every conditional branch
+    DataflowInfo dataflow;             ///< static dataflow verdicts
 
     int count(Severity s) const;
     int errors() const { return count(Severity::Error); }

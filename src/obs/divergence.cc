@@ -38,6 +38,7 @@ DivergenceProfiler::DivergenceProfiler(const isa::Program &prog)
     }
     cells_.assign(max_slot + 1, Cell{});
     cellFunc_.assign(max_slot + 1, -1);
+    cellHint_.assign(max_slot + 1, -1);
 
     // Join the CFG: every instruction slot inherits the function that
     // claimed its block; empty blocks (whose PC aliases the next real
@@ -64,6 +65,41 @@ DivergenceProfiler::slotOf(isa::Pc pc) const
     size_t slot = static_cast<size_t>(pc - prog_.codeBase()) /
         isa::kInstBytes;
     return cells_.empty() ? slot : std::min(slot, cells_.size() - 1);
+}
+
+void
+DivergenceProfiler::setStaticHints(const analysis::DataflowInfo &df)
+{
+    haveHints_ = df.ran;
+    std::fill(cellHint_.begin(), cellHint_.end(),
+              static_cast<int8_t>(-1));
+    if (!df.ran)
+        return;
+    for (const auto &b : df.branches)
+        cellHint_[slotOf(b.pc)] =
+            static_cast<int8_t>(b.uniformity);
+}
+
+uint64_t
+DivergenceProfiler::predictedDivergeEvents() const
+{
+    uint64_t t = 0;
+    for (size_t s = 0; s < cells_.size(); ++s)
+        if (cellHint_[s] ==
+            static_cast<int8_t>(analysis::Uniformity::MayDiverge))
+            t += cells_[s].divergeEvents;
+    return t;
+}
+
+uint64_t
+DivergenceProfiler::alwaysUniformViolations() const
+{
+    uint64_t t = 0;
+    for (size_t s = 0; s < cells_.size(); ++s)
+        if (cellHint_[s] ==
+            static_cast<int8_t>(analysis::Uniformity::UniformAlways))
+            t += cells_[s].divergeEvents;
+    return t;
 }
 
 void
@@ -108,6 +144,7 @@ DivergenceProfiler::top(int n) const
         r.maskedSlots = c.maskedSlots;
         r.divergeEvents = c.divergeEvents;
         r.reconvMerges = c.reconvMerges;
+        r.staticHint = cellHint_[s];
         rows.push_back(std::move(r));
     }
     std::sort(rows.begin(), rows.end(), [](const Row &a, const Row &b) {
@@ -152,16 +189,27 @@ DivergenceProfiler::report(int n) const
 {
     uint64_t total = totalMaskedSlots();
     Table t("divergence hotspots: " + prog_.name());
-    t.header({"pc", "function", "batch ops", "masked slots", "share",
-              "diverges", "merges", "occupancy"});
+    std::vector<std::string> head{"pc", "function", "batch ops",
+                                  "masked slots", "share", "diverges",
+                                  "merges", "occupancy"};
+    if (haveHints_)
+        head.push_back("static");
+    t.header(head);
     for (const auto &r : top(n)) {
         double share = total ? static_cast<double>(r.maskedSlots) /
             static_cast<double>(total) : 0.0;
-        t.row({hexPc(r.pc), r.func, std::to_string(r.batchOps),
-               std::to_string(r.maskedSlots), Table::pct(share),
-               std::to_string(r.divergeEvents),
-               std::to_string(r.reconvMerges),
-               Table::pct(r.occupancy(width_ ? width_ : 1))});
+        std::vector<std::string> row{
+            hexPc(r.pc), r.func, std::to_string(r.batchOps),
+            std::to_string(r.maskedSlots), Table::pct(share),
+            std::to_string(r.divergeEvents),
+            std::to_string(r.reconvMerges),
+            Table::pct(r.occupancy(width_ ? width_ : 1))};
+        if (haveHints_)
+            row.push_back(r.staticHint < 0 ? "-" :
+                          analysis::uniformityName(
+                              static_cast<analysis::Uniformity>(
+                                  r.staticHint)));
+        t.row(row);
     }
     return t;
 }
@@ -186,7 +234,13 @@ DivergenceProfiler::json(int n) const
             std::to_string(r.batchOps) + ", \"masked_slots\": " +
             std::to_string(r.maskedSlots) + ", \"diverge_events\": " +
             std::to_string(r.divergeEvents) + ", \"reconv_merges\": " +
-            std::to_string(r.reconvMerges) + "}";
+            std::to_string(r.reconvMerges);
+        if (haveHints_ && r.staticHint >= 0)
+            out += std::string(", \"static\": \"") +
+                analysis::uniformityName(
+                    static_cast<analysis::Uniformity>(r.staticHint)) +
+                "\"";
+        out += "}";
     }
     out += rows.empty() ? "]}\n" : "\n]}\n";
     return out;

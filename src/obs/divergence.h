@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/diag.h"
 #include "common/table.h"
 #include "obs/metrics.h"
 #include "simt/lockstep.h"
@@ -37,6 +38,14 @@ class DivergenceProfiler : public simt::LockstepObserver
     void onDiverge(isa::Pc pc, uint64_t opIdx) override;
     void onMerge(isa::Pc pc, uint64_t opIdx) override;
 
+    /**
+     * Join the static dataflow verdicts: each branch PC learns its
+     * predicted uniformity class, rendered as the "static" column of
+     * the hotspot report and used to split observed divergence into
+     * predicted (at may-diverge branches) vs unpredicted.
+     */
+    void setStaticHints(const analysis::DataflowInfo &df);
+
     /** One attributed static location. */
     struct Row
     {
@@ -47,6 +56,7 @@ class DivergenceProfiler : public simt::LockstepObserver
         uint64_t maskedSlots = 0;
         uint64_t divergeEvents = 0;
         uint64_t reconvMerges = 0;
+        int8_t staticHint = -1;    ///< analysis::Uniformity, -1 no hint
 
         /** Mean active-lane share while this PC was issuing. */
         double occupancy(int width) const
@@ -62,6 +72,20 @@ class DivergenceProfiler : public simt::LockstepObserver
     uint64_t totalMaskedSlots() const;
     uint64_t totalDivergeEvents() const;
     uint64_t totalReconvMerges() const;
+
+    /**
+     * Observed divergence events at branches the static analysis
+     * classified may-diverge (only meaningful after setStaticHints).
+     * The soundness invariant is predictedDivergeEvents() ==
+     * totalDivergeEvents() whenever batches are (api, argLen)-uniform;
+     * divergence at an always-uniform branch is a proof violation
+     * under any batch mix.
+     */
+    uint64_t predictedDivergeEvents() const;
+
+    /** Divergence events observed at UniformAlways-hinted branches. */
+    uint64_t alwaysUniformViolations() const;
+
     int width() const { return width_; }
 
     /** Render the hotspot table. */
@@ -84,7 +108,9 @@ class DivergenceProfiler : public simt::LockstepObserver
     };
     std::vector<Cell> cells_;     ///< indexed by (pc - base) / kInstBytes
     std::vector<int> cellFunc_;   ///< enclosing function id per cell
+    std::vector<int8_t> cellHint_;  ///< analysis::Uniformity per cell, -1 none
     int width_ = 0;
+    bool haveHints_ = false;
 };
 
 /**

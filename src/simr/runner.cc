@@ -3,7 +3,7 @@
 #include <memory>
 #include <string>
 
-#include "analysis/analyzer.h"
+#include "analysis/cache.h"
 #include "common/logging.h"
 #include "common/parallel.h"
 #include "obs/divergence.h"
@@ -154,7 +154,7 @@ struct FrontEnd
  */
 FrontEnd
 buildFrontEnd(const svc::Service &svc, const core::CoreConfig &cfg,
-              const TimingOptions &opt)
+              const TimingOptions &opt, const analysis::CachedAnalysis &ca)
 {
     FrontEnd fe;
     trace::TraceCache *rcache =
@@ -162,7 +162,7 @@ buildFrontEnd(const svc::Service &svc, const core::CoreConfig &cfg,
     fe.scache = (opt.useTraceCache && !opt.observerFor)
         ? StreamCache::process()
         : nullptr;
-    const uint64_t fp = trace::ProgramIndex(svc.program()).fingerprint();
+    const uint64_t fp = ca.fingerprint;
 
     if (cfg.batchWidth > 1) {
         // RPU / GPU: batch the requests and execute in lockstep. A
@@ -207,6 +207,7 @@ buildFrontEnd(const svc::Service &svc, const core::CoreConfig &cfg,
                     std::move(per_engine[static_cast<size_t>(e)]),
                     opt.alloc),
                 simt::SpinEscapeConfig(), rcache);
+            u.engine->setStaticProof(ca.proof);
             if (opt.observerFor)
                 u.engine->setObserver(opt.observerFor(e));
             u.stream = u.engine.get();
@@ -250,6 +251,7 @@ buildFrontEnd(const svc::Service &svc, const core::CoreConfig &cfg,
                         svc, per_thread[static_cast<size_t>(ti)],
                         static_cast<uint64_t>(ti), opt.alloc),
                     rcache);
+                u.scalar->setStaticProof(ca.proof);
                 u.stream = u.scalar.get();
                 if (fe.scache != nullptr) {
                     u.capturer =
@@ -341,7 +343,7 @@ measureEfficiency(const svc::Service &svc, batch::Policy policy,
                   simt::ReconvPolicy reconv, int width, int n,
                   uint64_t seed, simt::LockstepObserver *observer)
 {
-    analysis::gateOrDie(svc.program());
+    auto ca = analysis::gateAndProve(svc.program());
 
     // Efficiency probes re-run the exact cells the timing sweeps run,
     // so they share the stream cache (and its key scheme: one engine,
@@ -364,9 +366,8 @@ measureEfficiency(const svc::Service &svc, batch::Policy policy,
         opt.reconv = reconv;
         opt.requests = n;
         opt.seed = seed;
-        key = streamKey(svc,
-                        trace::ProgramIndex(svc.program()).fingerprint(),
-                        "lockstep", width, opt, 1, 0);
+        key = streamKey(svc, ca->fingerprint, "lockstep", width, opt,
+                        1, 0);
         StreamEntry ent;
         if (scache->lookup(key, &ent)) {
             obs::recordSimtStats(obs::Scope::registry(), ent.stats);
@@ -376,6 +377,7 @@ measureEfficiency(const svc::Service &svc, batch::Policy policy,
 
     simt::LockstepEngine engine(svc.program(), reconv, width,
                                 makeBatchProvider(svc, std::move(batches)));
+    engine.setStaticProof(ca->proof);
     engine.setObserver(observer);
     trace::DynOp op;
     if (scache != nullptr) {
@@ -398,8 +400,8 @@ FrontEndRun
 runFrontEnd(const svc::Service &svc, const core::CoreConfig &cfg,
             const TimingOptions &opt)
 {
-    analysis::gateOrDie(svc.program());
-    FrontEnd fe = buildFrontEnd(svc, cfg, opt);
+    auto ca = analysis::gateAndProve(svc.program());
+    FrontEnd fe = buildFrontEnd(svc, cfg, opt, *ca);
     FrontEndRun run;
     trace::DynOp op;
     for (FrontEndUnit &u : fe.units) {
@@ -422,11 +424,11 @@ TimingRun
 runTiming(const svc::Service &svc, const core::CoreConfig &cfg,
           const TimingOptions &opt)
 {
-    analysis::gateOrDie(svc.program());
+    auto ca = analysis::gateAndProve(svc.program());
 
     TimingRun run;
     core::TimingCore core(cfg);
-    FrontEnd fe = buildFrontEnd(svc, cfg, opt);
+    FrontEnd fe = buildFrontEnd(svc, cfg, opt, *ca);
     auto streams = fe.streams();
     run.core = core.run(streams);
     fe.collect(&run.simt, &run.reuse);
@@ -531,6 +533,19 @@ recordTraceCacheStats()
     reg->counter("trace.compile_us")->inc(cc.compileUs);
     reg->counter("trace.compiled_ops")->inc(cc.compiledOps);
     reg->counter("trace.simd_lanes")->inc(cc.simdLanes);
+}
+
+void
+recordAnalysisStats()
+{
+    analysis::AnalysisCache *cache = analysis::AnalysisCache::process();
+    if (cache == nullptr)
+        return;
+    obs::Registry *reg = obs::Scope::registry();
+    reg->counter("analysis.cache_hits")->inc(cache->hits());
+    reg->counter("analysis.cache_misses")->inc(cache->misses());
+    reg->gauge("analysis.cache_entries")->set(
+        static_cast<double>(cache->entries()));
 }
 
 } // namespace simr

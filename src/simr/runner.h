@@ -204,6 +204,15 @@ std::vector<TimingRun> runCells(const std::vector<Cell> &cells,
  */
 void recordTraceCacheStats();
 
+/**
+ * Fold the process-wide analysis cache totals into the current scoped
+ * registry: analysis.cache_hits / analysis.cache_misses counters and
+ * the analysis.cache_entries gauge. Same exposition contract as
+ * recordTraceCacheStats (call once before exposition; never from
+ * runCells). No-op when the cache is disabled (SIMR_ANALYSIS_CACHE=0).
+ */
+void recordAnalysisStats();
+
 } // namespace simr
 
 #endif // SIMR_SIMR_RUNNER_H

@@ -72,6 +72,28 @@ LockstepEngine::LockstepEngine(const isa::Program &prog,
 
 LockstepEngine::~LockstepEngine() = default;
 
+void
+LockstepEngine::setStaticProof(
+    std::shared_ptr<const trace::StaticProof> proof)
+{
+    proof_ = std::move(proof);
+    proofApplies_ = proof_ != nullptr &&
+        proof_->fingerprint == pi_.fingerprint();
+    for (auto &l : lanes_)
+        l->setStaticProof(proofApplies_ ? proof_ : nullptr);
+}
+
+void
+LockstepEngine::noteDivergence(isa::Pc pc)
+{
+    if (!proofApplies_)
+        return;
+    trace::BranchHint h = proof_->hintAt(pi_.flatOf(pc));
+    if (h == trace::BranchHint::UniformAlways ||
+        (h == trace::BranchHint::UniformPerBatch && batchApiArgUniform_))
+        ++stats_.hintViolations;
+}
+
 bool
 LockstepEngine::launchNext()
 {
@@ -81,6 +103,15 @@ LockstepEngine::launchNext()
     simr_assert(n <= width_ &&
                 inits_.size() == static_cast<size_t>(n),
                 "batch provider size mismatch");
+
+    batchApiArgUniform_ = true;
+    for (int i = 1; i < n; ++i) {
+        if (inits_[static_cast<size_t>(i)].api != inits_[0].api ||
+            inits_[static_cast<size_t>(i)].argLen != inits_[0].argLen) {
+            batchApiArgUniform_ = false;
+            break;
+        }
+    }
 
     liveMask_ = 0;
     batchSize_ = n;
@@ -124,9 +155,16 @@ LockstepEngine::launchNext()
     if (trace::compileEnabled()) {
         const Mask full = batchSize_ == trace::kMaxBatch ?
             ~Mask{0} : ((Mask{1} << batchSize_) - 1);
+        // Static relaxation: in an (api, argLen)-uniform batch of a
+        // program whose every branch is proven at least per-batch
+        // uniform, shape-equal traces are implied (same control path,
+        // same taken bits), so only the op counts are compared.
+        const bool hinted = proofApplies_ && proof_->allUniformPerBatch &&
+            batchApiArgUniform_;
         if (liveMask_ == full) {
             const trace::CompiledTrace *rep = nullptr;
             bool ok = true;
+            bool compared = false;
             trace::TraceBatchKernel::LaneSrc srcs[trace::kMaxBatch];
             for (int i = 0; i < batchSize_; ++i) {
                 const auto &l = *lanes_[static_cast<size_t>(i)];
@@ -135,18 +173,23 @@ LockstepEngine::launchNext()
                     break;
                 }
                 const trace::CompiledTrace *k = l.compiledCursor().kernel();
-                if (rep == nullptr)
+                if (rep == nullptr) {
                     rep = k;
-                else if (k != rep &&
-                         (k->shapeFingerprint() != rep->shapeFingerprint() ||
-                          k->opCount() != rep->opCount()))
-                    ok = false;
+                } else if (k != rep) {
+                    compared = true;
+                    if (k->opCount() != rep->opCount() ||
+                        (!hinted && k->shapeFingerprint() !=
+                             rep->shapeFingerprint()))
+                        ok = false;
+                }
                 srcs[i] = {l.compiledCursor().addrCol(),
                            l.compiledCursor().shifts()};
             }
             if (ok && rep != nullptr && rep->opCount() > 0) {
                 bkernel_.start(rep, srcs, batchSize_, pi_);
                 kernelBatch_ = true;
+                if (hinted && compared)
+                    ++stats_.hintedKernelBatches;
             }
         }
     }
@@ -404,6 +447,7 @@ LockstepEngine::stepStack(DynOp &op)
     simr_assert(op.si->op == isa::Op::Branch && op.si->reconvBlock >= 0,
                 "multi-way split on a non-branch");
     ++stats_.divergeEvents;
+    noteDivergence(op.pc);
     if (obs_)
         obs_->onDiverge(op.pc, stats_.batchOps);
     int rb = op.si->reconvBlock;
@@ -486,6 +530,7 @@ LockstepEngine::stepMinSp(DynOp &op)
         Mask t = op.takenMask;
         if (t != 0 && t != op.mask) {
             ++stats_.divergeEvents;
+            noteDivergence(op.pc);
             if (obs_)
                 obs_->onDiverge(op.pc, stats_.batchOps);
         }

@@ -64,6 +64,23 @@ struct SimtStats
     uint64_t pathSwitches = 0;   ///< scheduler jumps between paths
     uint64_t spinEscapes = 0;    ///< spin-escape activations
     uint64_t batches = 0;
+
+    /**
+     * Batches handed to the batch kernel because a static uniformity
+     * proof relaxed the eligibility check (shape fingerprints not
+     * compared). Depends on cache temperature, so it is exposition
+     * only: deliberately excluded from registry recording and from
+     * determinism comparisons.
+     */
+    uint64_t hintedKernelBatches = 0;
+
+    /**
+     * Observed divergence at a branch the static proof classified
+     * uniform (always, or per-batch within an (api, argLen)-uniform
+     * batch). A live soundness tripwire: always 0 unless the dataflow
+     * analysis is wrong, and asserted 0 by the soundness gate.
+     */
+    uint64_t hintViolations = 0;
     int width = 32;
 
     /** SIMT efficiency: scalar instructions / (batch ops x width). */
@@ -90,6 +107,8 @@ struct SimtStats
         reconvMerges += o.reconvMerges;
         pathSwitches += o.pathSwitches;
         spinEscapes += o.spinEscapes;
+        hintedKernelBatches += o.hintedKernelBatches;
+        hintViolations += o.hintViolations;
         batches += o.batches;
         if (batches == o.batches)
             width = o.width;
@@ -177,6 +196,15 @@ class LockstepEngine : public trace::DynStream
      */
     void setObserver(LockstepObserver *obs) { obs_ = obs; }
 
+    /**
+     * Attach the program's static dataflow proof (nullptr detaches).
+     * Enables capture's tier-1 fast path on every lane, relaxes
+     * batch-kernel eligibility for (api, argLen)-uniform batches when
+     * every branch is proven at least per-batch-uniform, and arms the
+     * hint-violation tripwire at the divergence sites.
+     */
+    void setStaticProof(std::shared_ptr<const trace::StaticProof> proof);
+
   private:
     struct StackEntry
     {
@@ -191,6 +219,9 @@ class LockstepEngine : public trace::DynStream
     bool stepStack(trace::DynOp &op);
     bool stepMinSp(trace::DynOp &op);
 
+    /** Check an observed divergence against the static hint. */
+    void noteDivergence(isa::Pc pc);
+
     /** Execute `mask` lanes (all at one position) and fill `op`. */
     void execGroup(trace::Mask mask, trace::DynOp &op);
 
@@ -201,6 +232,10 @@ class LockstepEngine : public trace::DynStream
     SpinEscapeConfig spin_;
 
     LockstepObserver *obs_ = nullptr;
+
+    std::shared_ptr<const trace::StaticProof> proof_;
+    bool proofApplies_ = false;         ///< proof matches this program
+    bool batchApiArgUniform_ = false;   ///< current batch shares (api, argLen)
 
     trace::ProgramIndex pi_;
     std::vector<std::unique_ptr<trace::LaneExec>> lanes_;

@@ -253,6 +253,13 @@ CaptureBuilder::reset(const ThreadInit &init)
     out_ = std::make_unique<CapturedTrace>();
     out_->frame_ = init;
     out_->fingerprint_ = pi_->fingerprint();
+    // Static tier-1 proof for this exact program: the per-op taint walk
+    // is redundant (every address kind is exact on every path and no
+    // identity/frame event can occur), so capture reads kinds from the
+    // proof table instead of interpreting the lattice per op.
+    static_ = proof_ != nullptr && proof_->tier1() &&
+        proof_->fingerprint == pi_->fingerprint() &&
+        envInt("SIMR_STATIC_TIER", 1) != 0;
     taint_.reset();
     for (auto &p : prevAddr_)
         p = 0;
@@ -262,7 +269,14 @@ void
 CaptureBuilder::onStep(const StepResult &r)
 {
     const StaticInst &si = *r.si;
-    AddrKind kind = taint_.step(si, r);
+    uint32_t flat = pi_->flatOf(r.pc);
+    AddrKind kind = AddrKind::Invariant;
+    if (static_) {
+        if (isa::opInfo(si.op).isMem)
+            kind = static_cast<AddrKind>(proof_->memKind[flat]);
+    } else {
+        kind = taint_.step(si, r);
+    }
     uint8_t flags = r.taken ? CapturedTrace::kTakenBit : 0;
     if (isa::opInfo(si.op).isMem) {
         flags |= CapturedTrace::kMemBit;
@@ -275,7 +289,7 @@ CaptureBuilder::onStep(const StepResult &r)
         prevAddr_[k] = r.addr;
         out_->addr_.push_back(r.addr);
     }
-    out_->staticIdx_.push_back(pi_->flatOf(r.pc));
+    out_->staticIdx_.push_back(flat);
     out_->flags_.push_back(flags);
     out_->dep1_.push_back(r.dep1);
     out_->dep2_.push_back(r.dep2);
@@ -286,8 +300,9 @@ std::shared_ptr<const CapturedTrace>
 CaptureBuilder::finish()
 {
     simr_assert(out_ != nullptr, "finish without reset");
-    out_->idDep_ = taint_.identityDependent();
-    out_->frameDep_ = taint_.frameDependent();
+    // Tier-1 proof: no identity or frame event is possible on any path.
+    out_->idDep_ = static_ ? false : taint_.identityDependent();
+    out_->frameDep_ = static_ ? false : taint_.frameDependent();
     out_->staticIdx_.shrink_to_fit();
     out_->flags_.shrink_to_fit();
     out_->addrArena_.shrink_to_fit();

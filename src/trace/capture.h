@@ -59,6 +59,7 @@
 
 #include "isa/program.h"
 #include "trace/interp.h"
+#include "trace/proof.h"
 
 namespace simr::trace
 {
@@ -313,7 +314,23 @@ class CaptureBuilder
   public:
     explicit CaptureBuilder(const ProgramIndex &pi) : pi_(&pi) {}
 
+    /**
+     * Attach a static dataflow proof. When it admits the canonical
+     * tier (taintTierBound == 1) for this exact program, subsequent
+     * captures skip the per-op dynamic taint interpretation and read
+     * each memory op's relocation kind from the proof's flat table —
+     * bit-identical to the dynamic result, since a tier-1 bound means
+     * every address kind is exact on every path.
+     */
+    void setStaticProof(std::shared_ptr<const StaticProof> proof)
+    {
+        proof_ = std::move(proof);
+    }
+
     void reset(const ThreadInit &init);
+
+    /** True when the current capture runs on the static-proof path. */
+    bool staticFastPath() const { return static_; }
 
     /** Record one executed instruction. */
     void onStep(const StepResult &r);
@@ -324,6 +341,8 @@ class CaptureBuilder
   private:
     const ProgramIndex *pi_;
     TaintTracker taint_;
+    std::shared_ptr<const StaticProof> proof_;
+    bool static_ = false;
     std::unique_ptr<CapturedTrace> out_;
     uint64_t prevAddr_[3] = {};
 };
@@ -342,6 +361,8 @@ struct ReuseStats
                                 ///  no lockstep machinery)
     uint64_t streamMisses = 0;  ///< front-end units computed live (and
                                 ///  captured when a stream cache is on)
+    uint64_t staticCaptures = 0;  ///< captures that skipped the dynamic
+                                  ///  taint walk on a static tier-1 proof
 
     ReuseStats &
     operator+=(const ReuseStats &o)
@@ -353,6 +374,7 @@ struct ReuseStats
         capturedOps += o.capturedOps;
         streamHits += o.streamHits;
         streamMisses += o.streamMisses;
+        staticCaptures += o.staticCaptures;
         return *this;
     }
 };

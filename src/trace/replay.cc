@@ -220,6 +220,8 @@ LaneExec::reset(const ThreadInit &init)
         ++stats_.misses;
         capturing_ = true;
         builder_.reset(init);
+        if (builder_.staticFastPath())
+            ++stats_.staticCaptures;
     }
     live_.reset(init);
 }

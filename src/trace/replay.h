@@ -114,6 +114,12 @@ class LaneExec
           compiled_(pi), builder_(pi)
     {}
 
+    /** Static proof for capture's tier-1 fast path (may be null). */
+    void setStaticProof(std::shared_ptr<const StaticProof> proof)
+    {
+        builder_.setStaticProof(std::move(proof));
+    }
+
     /** Start the next request; decides replay vs capture vs plain. */
     void reset(const ThreadInit &init);
 

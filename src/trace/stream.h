@@ -48,6 +48,12 @@ class ScalarStream : public DynStream
     bool next(DynOp &op) override;
     uint64_t requestsCompleted() const override { return completed_; }
 
+    /** Static proof for capture's tier-1 fast path (may be null). */
+    void setStaticProof(std::shared_ptr<const StaticProof> proof)
+    {
+        lane_.setStaticProof(std::move(proof));
+    }
+
     /** Trace-reuse accounting for this stream's requests. */
     const ReuseStats &reuseStats() const { return lane_.reuseStats(); }
 
