@@ -7,6 +7,11 @@
  * storage). Paper result: the RPU sustains ~4x the throughput at
  * comparable tail latency; without batch splitting average latency
  * inflates toward the storage latency while the tail stays acceptable.
+ *
+ * Besides the text tables, the full sweep is emitted as
+ * BENCH_fig22.json (per config: the QPS grid with mean and p99 at
+ * every load point, plus the max load meeting QoS) for CI artifact
+ * upload and plotting.
  */
 
 #include "bench_common.h"
@@ -21,7 +26,9 @@ main()
 {
     RunScale scale = RunScale::fromEnv();
 
-    auto sweep = [&](bool rpu, bool split, Table &t, const char *label) {
+    std::string json_configs;
+    auto sweep = [&](bool rpu, bool split, Table &t, const char *label,
+                     const char *key) {
         std::vector<double> loads_kqps =
             rpu ? std::vector<double>{5, 10, 20, 30, 40, 50, 60, 70, 80,
                                       90, 100}
@@ -37,6 +44,7 @@ main()
             return sys::runUserScenario(cfg);
         });
         double max_ok = 0;
+        std::string points;
         for (size_t i = 0; i < loads_kqps.size(); ++i) {
             const auto &r = results[i];
             t.row({label, Table::num(loads_kqps[i], 0),
@@ -45,16 +53,29 @@ main()
             // QoS: tail within ~1.5x the storage-path latency.
             if (r.p99Us() < 2500)
                 max_ok = loads_kqps[i];
+            char pt[160];
+            std::snprintf(pt, sizeof(pt),
+                          "%s{\"kqps\": %g, \"mean_us\": %.2f, "
+                          "\"p99_us\": %.2f}",
+                          i ? ", " : "", loads_kqps[i], r.meanUs(),
+                          r.p99Us());
+            points += pt;
         }
+        char cfg_json[256];
+        std::snprintf(cfg_json, sizeof(cfg_json),
+                      "%s\"%s\": {\"max_ok_kqps\": %g, \"points\": [",
+                      json_configs.empty() ? "" : ", ", key, max_ok);
+        json_configs += cfg_json + points + "]}";
         return max_ok;
     };
 
     Table t("Figure 22: end-to-end latency vs offered load "
             "(User scenario)");
     t.header({"system", "load (kQPS)", "avg (us)", "p99 (us)"});
-    double cpu_max = sweep(false, true, t, "CPU");
-    double rpu_split = sweep(true, true, t, "RPU w/ split");
-    double rpu_nosplit = sweep(true, false, t, "RPU w/o split");
+    double cpu_max = sweep(false, true, t, "CPU", "cpu");
+    double rpu_split = sweep(true, true, t, "RPU w/ split", "rpu_split");
+    double rpu_nosplit =
+        sweep(true, false, t, "RPU w/o split", "rpu_nosplit");
     t.print();
 
     Table s("Figure 22 summary: max throughput at acceptable QoS");
@@ -69,5 +90,13 @@ main()
     std::printf("paper: RPU ~4x max throughput (60 vs 15 kQPS) at "
                 "similar tail; w/o split the average latency rises to "
                 "the storage latency but tail stays acceptable\n");
+
+    std::string json = std::string("{\"bench\": \"fig22\", ") +
+        "\"configs\": {" + json_configs + "}}";
+    std::printf("BENCH_fig22.json: %s\n", json.c_str());
+    if (FILE *f = std::fopen("BENCH_fig22.json", "w")) {
+        std::fprintf(f, "%s\n", json.c_str());
+        std::fclose(f);
+    }
     return 0;
 }

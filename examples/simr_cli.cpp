@@ -17,6 +17,8 @@
  *            [--requests N] [--threads N]
  *   simr_cli trace <service>|social_network [--out FILE]
  *            [--config rpu|gpu] [--requests N] [--qps N]
+ *   simr_cli anatomy social_network [--json] [--qps N] [--requests N]
+ *            [--mode off|sampled|all]
  *   simr_cli hotspots <service>|--all [--top N] [--requests N]
  *            [--batch N]
  *
@@ -37,7 +39,9 @@
 #include "analysis/crosscheck.h"
 #include "common/parallel.h"
 #include "common/table.h"
+#include "obs/anatomy.h"
 #include "obs/divergence.h"
+#include "obs/journey.h"
 #include "obs/spans.h"
 #include "obs/trace.h"
 #include "simr/cachestudy.h"
@@ -90,6 +94,8 @@ usage()
         "           [--threads N]\n"
         "  simr_cli trace <service>|social_network [--out FILE]\n"
         "           [--config rpu|gpu] [--requests N] [--qps N]\n"
+        "  simr_cli anatomy social_network [--json] [--qps N]\n"
+        "           [--requests N] [--mode off|sampled|all]\n"
         "  simr_cli hotspots <service>|--all [--top N] [--requests N]\n"
         "           [--batch N]\n"
         "(experiment commands also take --metrics FILE)\n");
@@ -512,7 +518,8 @@ cmdStats(const std::string &service, int argc, char **argv)
  */
 void
 traceChipLevel(const svc::Service &svc, const std::string &name,
-               obs::Tracer *tr, int width, int requests, int top_n)
+               obs::Tracer *tr, int width, int requests, int top_n,
+               obs::BatchAnatomyRecorder *bar = nullptr)
 {
     constexpr int kChipPid = 1;
     tr->processName(0, "batching server");
@@ -525,6 +532,8 @@ traceChipLevel(const svc::Service &svc, const std::string &name,
         analysis::gateAndProve(svc.program())->report.dataflow);
     obs::SpanRecorder spans(tr, kChipPid, 1);
     obs::MultiObserver tee({&prof, &spans});
+    if (bar)
+        tee.add(bar);
 
     auto r = measureEfficiency(svc, batch::Policy::PerApiArgSize,
                                simt::ReconvPolicy::MinSpPc, width,
@@ -566,22 +575,58 @@ cmdTrace(const std::string &target, int argc, char **argv)
     int top_n = std::stoi(flag(argc, argv, "--top", "5"));
 
     if (target == "social_network") {
-        // Chip level: the logic tier the scenario batches for.
+        // Chip level: the logic tier the scenario batches for, with the
+        // per-batch anatomy rows kept for the cross-layer flow arrows.
         auto svc = svc::buildService("user");
         if (!svc)
             return 2;
+        obs::BatchAnatomyRecorder chip;
         traceChipLevel(*svc, "user", tr, svc->traits().tunedBatch,
-                       requests, top_n);
+                       requests, top_n, &chip);
 
-        // Cluster level: the uqsim User scenario on the RPU system.
+        // Cluster level: the uqsim User scenario on the RPU system,
+        // with journey capture for the sampled tail.
         sys::SysConfig cfg;
         cfg.qps = std::stod(flag(argc, argv, "--qps", "10000"));
         cfg.requests = requests * 8;
         cfg.rpu = true;
-        auto r = sys::runUserScenario(cfg);
+        obs::JourneyRecorder jrec(obs::journeyModeFromEnv(), 64);
+        sys::SysResult r;
+        {
+            obs::Scope jscope(&reg, tr, &jrec);
+            r = sys::runUserScenario(cfg);
+        }
         std::printf("cluster: %.0f offered qps, %.0f achieved, "
                     "p99 %.0f us\n", r.offeredQps, r.achievedQps,
                     r.p99Us());
+
+        // Flow arrows: connect each sampled journey's user-tier visit
+        // (cluster timeline, pid 2 / user tier track) to the chip-level
+        // issue window of a representative lockstep batch (pid 1). The
+        // chip run batches the same service, so cluster batch ids map
+        // onto its batch rows round-robin.
+        const auto &rows = chip.rows();
+        if (!rows.empty()) {
+            size_t emitted = 0;
+            for (const auto &j : jrec.snapshot()) {
+                if (emitted >= 32)
+                    break;
+                const obs::JourneyEvent *user_start = nullptr;
+                for (const auto &e : j.events)
+                    if (e.kind == obs::JStage::TierStart && e.tier == 1)
+                        user_start = &e;
+                if (!user_start)
+                    continue;
+                const auto &row =
+                    rows[static_cast<size_t>(j.batchId) % rows.size()];
+                uint64_t id = 0x1000000 + j.reqId;
+                tr->flowStart("batch link", "link", id,
+                              obs::journeyUs(user_start->tick), 2, 3);
+                tr->flowEnd("batch link", "link", id,
+                            static_cast<double>(row.startOp), 1, 1);
+                ++emitted;
+            }
+        }
     } else {
         auto svc = svc::buildService(target);
         if (!svc)
@@ -604,6 +649,84 @@ cmdTrace(const std::string &target, int argc, char **argv)
                 tracer.size(), out.c_str(), tracer.dropped());
     std::printf("open in https://ui.perfetto.dev (or "
                 "chrome://tracing)\n");
+    return dumpMetricsIfAsked(argc, argv) ? 0 : 4;
+}
+
+/**
+ * anatomy: the tail-latency drill-down of the social_network scenario.
+ * Runs the uqsim User scenario on the CPU and RPU systems with journey
+ * capture, decomposes every sampled request's latency into buckets
+ * (exactly: the buckets sum to the end-to-end latency), and prints the
+ * p99-vs-median anatomy per config. The RPU config's user-tier service
+ * time is further split into divergence/memory shares measured by a
+ * chip-level lockstep run of the `user` service.
+ */
+int
+cmdAnatomy(const std::string &target, int argc, char **argv)
+{
+    if (target != "social_network") {
+        std::fprintf(stderr,
+                     "anatomy knows only the social_network scenario\n");
+        return 1;
+    }
+
+    bool json = has(argc, argv, "--json");
+    double qps = std::stod(flag(argc, argv, "--qps", "10000"));
+    int requests = std::stoi(flag(argc, argv, "--requests", "20000"));
+    std::string mode_s = flag(argc, argv, "--mode", "");
+    obs::JourneyMode mode = mode_s == "off" ? obs::JourneyMode::Off :
+        mode_s == "all" ? obs::JourneyMode::All :
+        mode_s == "sampled" ? obs::JourneyMode::Sampled :
+        obs::journeyModeFromEnv();
+
+    obs::Registry reg;
+    obs::Scope scope(&reg);
+
+    // Chip-level attribution for the batched logic tier (tier 1: user).
+    auto svc = svc::buildService("user");
+    if (!svc)
+        return 2;
+    obs::BatchAnatomyRecorder chip;
+    measureEfficiency(*svc, batch::Policy::PerApiArgSize,
+                      simt::ReconvPolicy::MinSpPc,
+                      svc->traits().tunedBatch, 512, 42, &chip);
+    obs::ChipLink link = chip.link(1);
+
+    std::string page = "{\"scenario\":\"social_network\",\"mode\":\"" +
+        std::string(obs::journeyModeName(mode)) + "\",\"configs\":{";
+    struct SysRun { const char *name; bool rpu; };
+    const SysRun runs[] = {{"cpu", false}, {"rpu", true}};
+    for (size_t i = 0; i < 2; ++i) {
+        sys::SysConfig cfg;
+        cfg.qps = qps;
+        cfg.requests = requests;
+        cfg.rpu = runs[i].rpu;
+        obs::JourneyRecorder rec(mode, 512);
+        sys::SysResult r;
+        {
+            obs::Scope inner(&reg, nullptr, &rec);
+            r = sys::runUserScenario(cfg);
+        }
+        auto report = obs::buildAnatomy(
+            rec.snapshot(), cfg.rpu ? &link : nullptr);
+        obs::recordJourneyMetrics(&reg, rec, report);
+        if (json) {
+            page += std::string("\"") + runs[i].name + "\":" +
+                report.json() + (i == 0 ? "," : "");
+        } else {
+            std::printf("%s system: mean %.0f us, p99 %.0f us "
+                        "(%.0f offered qps)\n", runs[i].name,
+                        r.meanUs(), r.p99Us(), r.offeredQps);
+            std::printf("%s", report.table(runs[i].name).c_str());
+            if (cfg.rpu)
+                std::printf("  chip link (user tier): divergence "
+                            "%.1f%%, memory %.1f%% of service\n",
+                            100.0 * link.divergenceFrac,
+                            100.0 * link.memoryFrac);
+        }
+    }
+    if (json)
+        std::printf("%s", (page + "}}\n").c_str());
     return dumpMetricsIfAsked(argc, argv) ? 0 : 4;
 }
 
@@ -713,6 +836,8 @@ main(int argc, char **argv)
         rc = cmdTune(service);
     else if (cmd == "trace")
         rc = cmdTrace(service, argc, argv);
+    else if (cmd == "anatomy")
+        rc = cmdAnatomy(service, argc, argv);
     else if (cmd == "hotspots")
         rc = cmdHotspots(service, argc, argv);
     else

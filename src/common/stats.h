@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstring>
 #include <map>
 #include <mutex>
 #include <string>
@@ -167,6 +168,27 @@ class Histogram
      * never changes any reported statistic.
      */
     void merge(const Histogram &o);
+
+    /**
+     * Exact sample-level equality: same count and the same multiset of
+     * samples, compared bit-for-bit after sorting (insertion order is
+     * not part of the identity -- percentile()'s lazy sort permutes
+     * it). The determinism gates use this to assert result histograms
+     * are identical across observability modes and thread counts.
+     */
+    bool
+    identicalTo(const Histogram &o) const
+    {
+        if (stat_.count() != o.stat_.count())
+            return false;
+        std::vector<double> a = samples_;
+        std::vector<double> b = o.samples_;
+        std::sort(a.begin(), a.end());
+        std::sort(b.begin(), b.end());
+        return a.empty() ||
+            std::memcmp(a.data(), b.data(),
+                        a.size() * sizeof(double)) == 0;
+    }
 
     void
     clear()

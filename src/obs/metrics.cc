@@ -27,6 +27,7 @@ fmtNum(double v)
 
 thread_local Registry *tlRegistry = nullptr;
 thread_local Tracer *tlTracer = nullptr;
+thread_local JourneyRecorder *tlJourneys = nullptr;
 
 } // namespace
 
@@ -235,17 +236,20 @@ Registry::global()
     return reg;
 }
 
-Scope::Scope(Registry *reg, Tracer *tracer)
-    : prevReg_(tlRegistry), prevTracer_(tlTracer)
+Scope::Scope(Registry *reg, Tracer *tracer, JourneyRecorder *journeys)
+    : prevReg_(tlRegistry), prevTracer_(tlTracer),
+      prevJourneys_(tlJourneys)
 {
     tlRegistry = reg;
     tlTracer = tracer;
+    tlJourneys = journeys;
 }
 
 Scope::~Scope()
 {
     tlRegistry = prevReg_;
     tlTracer = prevTracer_;
+    tlJourneys = prevJourneys_;
 }
 
 Registry *
@@ -262,6 +266,12 @@ Scope::tracer()
 #else
     return nullptr;
 #endif
+}
+
+JourneyRecorder *
+Scope::journeys()
+{
+    return tlJourneys;
 }
 
 } // namespace simr::obs

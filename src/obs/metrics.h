@@ -43,6 +43,7 @@ namespace simr::obs
 {
 
 class Tracer;
+class JourneyRecorder;
 
 /** Monotonic event counter. */
 class Counter
@@ -169,7 +170,8 @@ class Registry
 class Scope
 {
   public:
-    explicit Scope(Registry *reg, Tracer *tracer = nullptr);
+    explicit Scope(Registry *reg, Tracer *tracer = nullptr,
+                   JourneyRecorder *journeys = nullptr);
     ~Scope();
     Scope(const Scope &) = delete;
     Scope &operator=(const Scope &) = delete;
@@ -180,9 +182,13 @@ class Scope
     /** Current thread's tracer; null when tracing is off. */
     static Tracer *tracer();
 
+    /** Current thread's journey recorder; null when none installed. */
+    static JourneyRecorder *journeys();
+
   private:
     Registry *prevReg_;
     Tracer *prevTracer_;
+    JourneyRecorder *prevJourneys_;
 };
 
 } // namespace simr::obs

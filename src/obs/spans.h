@@ -118,6 +118,13 @@ class MultiObserver : public simt::LockstepObserver
     }
 
     void
+    onLaneRetire(int lane, uint64_t opIdx) override
+    {
+        for (auto *o : sinks_)
+            o->onLaneRetire(lane, opIdx);
+    }
+
+    void
     onBatchEnd(uint64_t batch, uint64_t opIdx) override
     {
         for (auto *o : sinks_)

@@ -195,6 +195,48 @@ Tracer::asyncEnd(const std::string &name, const std::string &cat,
     push(std::move(e));
 }
 
+namespace
+{
+
+TraceEvent
+flowEvent(const std::string &name, const std::string &cat, char ph,
+          uint64_t id, double ts_us, int pid, int tid)
+{
+    TraceEvent e;
+    e.name = name;
+    e.cat = cat;
+    e.ph = ph;
+    e.tsUs = ts_us;
+    e.pid = pid;
+    e.tid = tid;
+    e.id = id;
+    e.hasId = true;
+    return e;
+}
+
+} // namespace
+
+void
+Tracer::flowStart(const std::string &name, const std::string &cat,
+                  uint64_t id, double ts_us, int pid, int tid)
+{
+    push(flowEvent(name, cat, 's', id, ts_us, pid, tid));
+}
+
+void
+Tracer::flowStep(const std::string &name, const std::string &cat,
+                 uint64_t id, double ts_us, int pid, int tid)
+{
+    push(flowEvent(name, cat, 't', id, ts_us, pid, tid));
+}
+
+void
+Tracer::flowEnd(const std::string &name, const std::string &cat,
+                uint64_t id, double ts_us, int pid, int tid)
+{
+    push(flowEvent(name, cat, 'f', id, ts_us, pid, tid));
+}
+
 void
 Tracer::processName(int pid, const std::string &name)
 {

@@ -11,6 +11,8 @@
  *   i  instant event
  *   C  counter sample
  *   b / e  async span (id-matched; overlapping request lifetimes)
+ *   s / t / f  flow arrows (id-matched; link spans across tracks, e.g.
+ *              a cluster-tier batch to its chip-level issue window)
  *   M  metadata (process_name / thread_name)
  *
  * Timestamps are microseconds. Chip-level traces use virtual time
@@ -88,6 +90,18 @@ class Tracer
                     TraceArgs args = {});
     void asyncEnd(const std::string &name, const std::string &cat,
                   uint64_t id, double ts_us, int pid);
+
+    /**
+     * Flow arrows: a flowStart on one track connects to flowStep /
+     * flowEnd events with the same id on any other track, drawing the
+     * cross-layer causal links (cluster batch -> chip timeline).
+     */
+    void flowStart(const std::string &name, const std::string &cat,
+                   uint64_t id, double ts_us, int pid, int tid);
+    void flowStep(const std::string &name, const std::string &cat,
+                  uint64_t id, double ts_us, int pid, int tid);
+    void flowEnd(const std::string &name, const std::string &cat,
+                 uint64_t id, double ts_us, int pid, int tid);
     void processName(int pid, const std::string &name);
     void threadName(int pid, int tid, const std::string &name);
 

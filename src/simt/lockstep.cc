@@ -48,6 +48,10 @@ LockstepObserver::onSpinEscape(int, isa::Pc, uint64_t)
 {}
 
 void
+LockstepObserver::onLaneRetire(int, uint64_t)
+{}
+
+void
 LockstepObserver::onBatchEnd(uint64_t, uint64_t)
 {}
 
@@ -267,8 +271,11 @@ LockstepEngine::execGroup(Mask mask, DynOp &op)
     if (op.pathSwitch)
         ++stats_.pathSwitches;
 
-    if (obs_)
+    if (obs_) {
         obs_->onOp(op, width_, stats_.batchOps);
+        for (Mask em = op.endMask; em; em &= em - 1)
+            obs_->onLaneRetire(__builtin_ctz(em), stats_.batchOps);
+    }
 }
 
 bool
@@ -296,6 +303,9 @@ LockstepEngine::next(DynOp &op)
                 lanes_[static_cast<size_t>(i)]->finishBatchReplay();
             completed_ += static_cast<uint64_t>(batchSize_);
             liveMask_ = 0;
+            if (obs_)
+                for (int i = 0; i < batchSize_; ++i)
+                    obs_->onLaneRetire(i, stats_.batchOps);
         }
         op.batchStart = fresh;
         if (liveMask_ == 0) {

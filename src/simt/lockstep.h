@@ -143,6 +143,10 @@ class LockstepObserver
     /** Spin-escape boosted `lane` parked at `pc`. */
     virtual void onSpinEscape(int lane, isa::Pc pc, uint64_t opIdx);
 
+    /** `lane`'s request retired with the op at `opIdx` (fires after
+     *  that op's onOp; intra-batch completion-skew attribution). */
+    virtual void onLaneRetire(int lane, uint64_t opIdx);
+
     /** The current batch retired (all lanes done). */
     virtual void onBatchEnd(uint64_t batch, uint64_t opIdx);
 };

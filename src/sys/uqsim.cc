@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "obs/journey.h"
 #include "obs/trace.h"
 
 namespace simr::sys
@@ -47,13 +48,16 @@ class Station
      * spans never overlap, so each tier renders as one clean track).
      */
     double
-    process(double t, int n, TierStat &stat, obs::Tracer *tr)
+    process(double t, int n, TierStat &stat, obs::Tracer *tr,
+            double *start_out = nullptr)
     {
         double start = std::max(t, nextFree_);
         double occupancy = static_cast<double>(n) / rate_;
         nextFree_ = start + occupancy;
         stat.waitUs.add(start - t);
         stat.serviceUs.add(occupancy);
+        if (start_out)
+            *start_out = start;
         if (tr) {
             tr->complete(
                 name_, "sys", start, occupancy, kSysPid, tid_,
@@ -167,6 +171,12 @@ runUserScenario(const SysConfig &cfg)
     uint64_t orphan_total = 0;
     uint64_t req_idx = 0;
     double last_completion = 0;
+    obs::JourneyRecorder *jrec = obs::Scope::journeys();
+    // Hoisted shard cursor: the per-request offer below is fully
+    // inline (one counter bump, one hash, one comparison).
+    obs::JourneyRecorder::Cursor jcur;
+    if (jrec)
+        jcur = jrec->cursor();
     for (size_t bi = 0; bi < batches.size(); ++bi) {
         const auto &b = batches[bi];
         int n = static_cast<int>(b.arrivals.size());
@@ -184,12 +194,24 @@ runUserScenario(const SysConfig &cfg)
                                b.arrivals[static_cast<size_t>(r)],
                                kSysPid);
         }
+        // Per-tier (enqueue, start, done) times of this batch, kept for
+        // journey construction. Reading them never changes the math.
+        double tierEnq[4], tierStart[4], tierDone[4];
         double bt = b.emitTime;
-        bt = web.process(bt, n, webStat, tr) + cfg.netUs;
-        bt = user.process(bt, n, userStat, tr) + cfg.netUs;
-        bt = mcrouter.process(bt, n, mcrouterStat, tr) + cfg.netUs;
+        tierEnq[0] = bt;
+        tierDone[0] = web.process(bt, n, webStat, tr, &tierStart[0]);
+        bt = tierDone[0] + cfg.netUs;
+        tierEnq[1] = bt;
+        tierDone[1] = user.process(bt, n, userStat, tr, &tierStart[1]);
+        bt = tierDone[1] + cfg.netUs;
+        tierEnq[2] = bt;
+        tierDone[2] =
+            mcrouter.process(bt, n, mcrouterStat, tr, &tierStart[2]);
+        bt = tierDone[2] + cfg.netUs;
         // Reply back to the user tier.
-        bt = memc.process(bt, n, memcStat, tr) + cfg.netUs;
+        tierEnq[3] = bt;
+        tierDone[3] = memc.process(bt, n, memcStat, tr, &tierStart[3]);
+        bt = tierDone[3] + cfg.netUs;
 
         // Cache outcomes decide who must visit storage.
         int misses = 0;
@@ -210,6 +232,8 @@ runUserScenario(const SysConfig &cfg)
                                static_cast<uint64_t>(misses))}});
         }
 
+        if (jrec)
+            jcur.beginGroup(static_cast<uint64_t>(n));
         for (int r = 0; r < n; ++r) {
             double done;
             if (misses == 0) {
@@ -223,11 +247,73 @@ runUserScenario(const SysConfig &cfg)
                 // point for the storage path (Fig. 17a).
                 done = miss_done;
             }
-            res.e2eUs.add(done - b.arrivals[static_cast<size_t>(r)]);
+            double arr = b.arrivals[static_cast<size_t>(r)];
+            double e2e = done - arr;
+            res.e2eUs.add(e2e);
             if (tr)
                 tr->asyncEnd("req", "request", req_idx + static_cast<uint64_t>(r),
                              done, kSysPid);
             last_completion = std::max(last_completion, done);
+
+            // Journey capture: a cheap two-phase offer first, the event
+            // log only for accepted requests. The recorder draws nothing
+            // from `rng` and never feeds back into the simulation, so
+            // SysResult is bit-identical at any capture mode.
+            if (jrec) {
+                uint64_t rid = req_idx + static_cast<uint64_t>(r);
+                uint64_t key;
+                if (jcur.offer(rid, e2e, &key)) {
+                    bool is_miss =
+                        misses > 0 && miss[static_cast<size_t>(r)];
+                    bool blocked = misses > 0 && cfg.rpu &&
+                        !cfg.batchSplit && !is_miss;
+                    obs::Journey j;
+                    // 15 events on the hit path, up to 19 with the
+                    // storage visit; one allocation instead of a
+                    // doubling ramp.
+                    j.events.reserve(19);
+                    j.reqId = rid;
+                    j.batchId = bi;
+                    j.batchSize = static_cast<uint32_t>(n);
+                    j.miss = is_miss;
+                    j.orphan = is_miss && cfg.rpu && cfg.batchSplit;
+                    j.blockedOnBatch = blocked;
+                    auto ev = [&j](obs::JStage k, double us, int tier,
+                                   uint64_t aux = 0,
+                                   bool foreign = false) {
+                        j.events.push_back(
+                            {obs::journeyTicks(us), aux, k,
+                             static_cast<int8_t>(tier), foreign});
+                    };
+                    ev(obs::JStage::Arrival, arr, -1);
+                    ev(obs::JStage::BatchFormed, b.emitTime, -1, bi);
+                    for (int k = 0; k < 4; ++k) {
+                        ev(obs::JStage::TierEnqueue, tierEnq[k], k);
+                        ev(obs::JStage::TierStart, tierStart[k], k);
+                        ev(obs::JStage::TierDone, tierDone[k], k);
+                    }
+                    ev(obs::JStage::CacheOutcome, tierDone[3], 3,
+                       is_miss ? 1 : 0);
+                    if (is_miss) {
+                        if (j.orphan)
+                            ev(obs::JStage::SplitRetry, tierDone[3], 3,
+                               bi);
+                        double senq = bt + cfg.netUs;
+                        ev(obs::JStage::TierEnqueue, senq, 4);
+                        ev(obs::JStage::TierStart, senq, 4);
+                        ev(obs::JStage::TierDone,
+                           senq + cfg.storageSvcUs, 4);
+                        ev(obs::JStage::Completion, miss_done, -1);
+                    } else if (blocked) {
+                        ev(obs::JStage::ReconvJoin,
+                           miss_done - cfg.netUs, -1, bi, true);
+                        ev(obs::JStage::Completion, miss_done, -1);
+                    } else {
+                        ev(obs::JStage::Completion, hit_done, -1);
+                    }
+                    jrec->admit(std::move(j), key);
+                }
+            }
         }
         req_idx += static_cast<uint64_t>(n);
 

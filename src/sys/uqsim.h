@@ -95,7 +95,13 @@ struct SysResult
  * ("sys.<tier>.wait_us", "sys.batches", ...), and when a tracer is in
  * scope the run emits a Perfetto timeline in simulated microseconds --
  * batch-formation spans, per-tier service-occupancy spans, storage
- * visits and per-request async spans.
+ * visits and per-request async spans. When an obs::JourneyRecorder is
+ * in scope (obs::Scope's third slot), every request is offered to it
+ * for per-request causal journey capture (obs/journey.h): arrival,
+ * batch formation, per-tier enqueue/start/done, memcached hit/miss,
+ * storage visits, split retries and reconvergence stalls. Recording is
+ * strictly read-only: it draws nothing from the scenario Rng and the
+ * returned SysResult is bit-identical at any capture mode.
  */
 SysResult runUserScenario(const SysConfig &cfg);
 

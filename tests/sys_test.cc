@@ -1,12 +1,18 @@
 /**
  * @file
  * Tests for the system-level (uqsim-substitute) simulator: unloaded
- * latency composition, queueing under load, batch splitting effects and
- * throughput relationships.
+ * latency composition, queueing under load, batch splitting effects,
+ * throughput relationships, and journey capture: exact per-request
+ * latency decomposition, scenario-consistent journey flags, and the
+ * no-perturbation invariant (SysResult bit-identical with journeys
+ * off, sampled or full).
  */
 
 #include <gtest/gtest.h>
 
+#include "obs/anatomy.h"
+#include "obs/journey.h"
+#include "obs/metrics.h"
 #include "sys/uqsim.h"
 
 using namespace simr;
@@ -113,4 +119,135 @@ TEST(Uqsim, DeterministicForSeed)
     auto b = runUserScenario(base(10, true, true));
     EXPECT_DOUBLE_EQ(a.meanUs(), b.meanUs());
     EXPECT_DOUBLE_EQ(a.p99Us(), b.p99Us());
+}
+
+namespace
+{
+
+/** Run the scenario with a journey recorder in scope. */
+SysResult
+runWithJourneys(const SysConfig &cfg, obs::JourneyRecorder *rec)
+{
+    obs::Registry reg;
+    obs::Scope scope(&reg, nullptr, rec);
+    return runUserScenario(cfg);
+}
+
+} // namespace
+
+TEST(UqsimJourneys, DecomposeExactlyToEndToEndLatency)
+{
+    obs::JourneyRecorder rec(obs::JourneyMode::Sampled, 128);
+    auto r = runWithJourneys(base(20, true, true), &rec);
+    EXPECT_EQ(rec.seen(), 20000u);
+    auto journeys = rec.snapshot();
+    ASSERT_FALSE(journeys.empty());
+    ASSERT_LE(journeys.size(), 128u);
+    for (const auto &j : journeys) {
+        ASSERT_GE(j.events.size(), 2u);
+        EXPECT_EQ(j.events.front().kind, obs::JStage::Arrival);
+        EXPECT_EQ(j.events.back().kind, obs::JStage::Completion);
+        // Time-ordered causal chain.
+        for (size_t k = 1; k < j.events.size(); ++k)
+            EXPECT_GE(j.events[k].tick, j.events[k - 1].tick)
+                << "req " << j.reqId << " event " << k;
+        // The tentpole identity: buckets sum EXACTLY to e2e.
+        obs::RequestAnatomy a = obs::decompose(j);
+        EXPECT_EQ(a.sumTicks(), a.e2eTicks) << "req " << j.reqId;
+        // And with the chip link splitting the user tier's service.
+        obs::ChipLink link;
+        link.tier = 1;
+        link.divergenceFrac = 0.33;
+        link.memoryFrac = 0.25;
+        obs::RequestAnatomy al = obs::decompose(j, &link);
+        EXPECT_EQ(al.sumTicks(), al.e2eTicks) << "req " << j.reqId;
+        // The journey's latency matches the histogram's value range
+        // (ticks quantize at 2^-10 us).
+        EXPECT_GE(j.e2eUs(), r.e2eUs.min() - 0.001);
+        EXPECT_LE(j.e2eUs(), r.e2eUs.max() + 0.001);
+    }
+}
+
+TEST(UqsimJourneys, AllModeCapturesEveryRequest)
+{
+    SysConfig cfg = base(20, true, true);
+    cfg.requests = 4000;
+    obs::JourneyRecorder rec(obs::JourneyMode::All, 64);
+    runWithJourneys(cfg, &rec);
+    EXPECT_EQ(rec.seen(), 4000u);
+    EXPECT_EQ(rec.kept(), 4000u);
+    auto journeys = rec.snapshot();
+    ASSERT_EQ(journeys.size(), 4000u);
+    for (size_t i = 0; i < journeys.size(); ++i)
+        EXPECT_EQ(journeys[i].reqId, i);
+}
+
+TEST(UqsimJourneys, FlagsReflectTheScenario)
+{
+    // Split RPU system: misses visit storage (tier 4) as orphans;
+    // hits complete at the memcached tier and never block.
+    SysConfig cfg = base(20, true, true);
+    cfg.requests = 4000;
+    obs::JourneyRecorder rec(obs::JourneyMode::All, 64);
+    runWithJourneys(cfg, &rec);
+    size_t misses = 0;
+    for (const auto &j : rec.snapshot()) {
+        bool storage = false;
+        for (const auto &e : j.events)
+            if (e.kind == obs::JStage::TierStart && e.tier == 4)
+                storage = true;
+        EXPECT_EQ(storage, j.miss) << "req " << j.reqId;
+        EXPECT_EQ(j.orphan, j.miss) << "req " << j.reqId;
+        EXPECT_FALSE(j.blockedOnBatch) << "req " << j.reqId;
+        misses += j.miss;
+    }
+    EXPECT_GT(misses, 0u);
+
+    // Unsplit RPU system: hits in a mixed batch stall at the
+    // reconvergence point -- a foreign-caused ReconvJoin segment.
+    SysConfig nosplit = cfg;
+    nosplit.batchSplit = false;
+    obs::JourneyRecorder rec2(obs::JourneyMode::All, 64);
+    runWithJourneys(nosplit, &rec2);
+    size_t blocked = 0;
+    for (const auto &j : rec2.snapshot()) {
+        if (!j.blockedOnBatch)
+            continue;
+        ++blocked;
+        EXPECT_FALSE(j.miss) << "req " << j.reqId;
+        bool foreign_join = false;
+        for (const auto &e : j.events)
+            if (e.kind == obs::JStage::ReconvJoin && e.foreign)
+                foreign_join = true;
+        EXPECT_TRUE(foreign_join) << "req " << j.reqId;
+    }
+    EXPECT_GT(blocked, 0u);
+}
+
+TEST(UqsimJourneys, CaptureNeverPerturbsSysResult)
+{
+    // The no-perturbation invariant at test scale (bench_obs
+    // --verify-journeys re-checks it across thread counts): every
+    // histogram sample and tier statistic is bit-identical with
+    // journeys off, sampled and full.
+    SysConfig cfg = base(20, true, true);
+    cfg.requests = 6000;
+    auto off = runUserScenario(cfg);
+    obs::JourneyRecorder sampled(obs::JourneyMode::Sampled, 64);
+    auto mid = runWithJourneys(cfg, &sampled);
+    obs::JourneyRecorder all(obs::JourneyMode::All, 64);
+    auto full = runWithJourneys(cfg, &all);
+    for (const auto *r : {&mid, &full}) {
+        EXPECT_DOUBLE_EQ(r->achievedQps, off.achievedQps);
+        EXPECT_TRUE(r->e2eUs.identicalTo(off.e2eUs));
+        ASSERT_EQ(r->tiers.size(), off.tiers.size());
+        for (size_t t = 0; t < off.tiers.size(); ++t) {
+            EXPECT_EQ(r->tiers[t].waitUs.count(),
+                      off.tiers[t].waitUs.count());
+            EXPECT_DOUBLE_EQ(r->tiers[t].waitUs.sum(),
+                             off.tiers[t].waitUs.sum());
+            EXPECT_DOUBLE_EQ(r->tiers[t].serviceUs.sum(),
+                             off.tiers[t].serviceUs.sum());
+        }
+    }
 }

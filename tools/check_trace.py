@@ -10,6 +10,9 @@ loadable before anyone opens it in ui.perfetto.dev:
   * X (complete) events carry a non-negative dur
   * B/E (duration) events balance per (pid, tid) track
   * b/e (async) events carry a correlation id and balance per id
+  * s/t/f (flow) events carry a correlation id, every t (step) and
+    f (end) is preceded by an s (start) with the same id, and every
+    flow started is eventually terminated by an f
   * M (metadata) events are process_name / thread_name shapes
 
 Exit code 0 when the file passes, 1 with diagnostics when it does not.
@@ -21,7 +24,8 @@ import argparse
 import json
 import sys
 
-KNOWN_PHASES = {"X", "B", "E", "i", "I", "C", "b", "e", "n", "M"}
+KNOWN_PHASES = {"X", "B", "E", "i", "I", "C", "b", "e", "n", "M",
+                "s", "t", "f"}
 KNOWN_META = {"process_name", "thread_name", "process_labels",
               "process_sort_index", "thread_sort_index"}
 
@@ -53,6 +57,7 @@ def check(path, require_cats):
 
     open_durations = {}  # (pid, tid) -> open B count
     open_async = {}      # (cat, name, id) -> open b count
+    open_flows = {}      # id -> True while started and unterminated
     seen_cats = set()
 
     for i, ev in enumerate(events):
@@ -98,6 +103,19 @@ def check(path, require_cats):
                         err(f"{where}: async e without b for {key}")
                     else:
                         open_async[key] = n - 1
+        elif ph in ("s", "t", "f"):
+            if "id" not in ev:
+                err(f"{where}: flow {ph} event needs an id")
+            else:
+                fid = ev["id"]
+                if ph == "s":
+                    if open_flows.get(fid):
+                        err(f"{where}: flow id {fid!r} started twice")
+                    open_flows[fid] = True
+                elif fid not in open_flows:
+                    err(f"{where}: flow {ph} without s for id {fid!r}")
+                elif ph == "f":
+                    open_flows[fid] = False
         elif ph == "M":
             if ev["name"] not in KNOWN_META:
                 err(f"{where}: unknown metadata {ev['name']!r}")
@@ -114,6 +132,9 @@ def check(path, require_cats):
     for key, n in sorted(open_async.items(), key=str):
         if n:
             err(f"{path}: {n} unclosed async span(s) for {key}")
+    for fid, open_ in sorted(open_flows.items(), key=str):
+        if open_:
+            err(f"{path}: flow id {fid!r} never terminated by f")
     for cat in require_cats:
         if cat not in seen_cats:
             err(f"{path}: required category {cat!r} never appears")

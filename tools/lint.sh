@@ -51,6 +51,22 @@ if [ -n "$CLI" ] && command -v python3 >/dev/null 2>&1; then
         echo "lint.sh: simr_cli trace failed"
         STATUS=1
     fi
+    # Cross-layer view: the social_network trace adds the cluster
+    # timeline, per-request async spans and the journey flow arrows
+    # (s/t/f events) linking cluster batches to chip issue windows.
+    if "$CLI" trace social_network --requests 64 --out "$TRACE" \
+           >/dev/null; then
+        if python3 tools/check_trace.py "$TRACE" \
+               --require-cat batching lockstep link; then
+            echo "lint.sh: flow trace schema gate passed"
+        else
+            echo "lint.sh: flow trace schema gate FAILED"
+            STATUS=1
+        fi
+    else
+        echo "lint.sh: simr_cli trace social_network failed"
+        STATUS=1
+    fi
     rm -f "$TRACE"
 else
     echo "lint.sh: no built simr_cli (or no python3); skipping the" \
