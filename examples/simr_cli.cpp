@@ -29,6 +29,8 @@
  * 3 analysis findings / profiler inconsistency, 4 I/O failure.
  */
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -47,6 +49,7 @@
 #include "simr/cachestudy.h"
 #include "simr/runner.h"
 #include "simr/tuner.h"
+#include "sys/cluster.h"
 #include "sys/uqsim.h"
 
 using namespace simr;
@@ -89,6 +92,9 @@ usage()
         "  simr_cli sweep [--config cpu|smt8|rpu|gpu] [--requests N]\n"
         "           [--threads N]\n"
         "  simr_cli cluster [--qps N] [--rpu] [--nosplit]\n"
+        "           [--servers N] [--users N] [--requests N]\n"
+        "           [--shards N] [--threads N]   (cluster-scale PDES\n"
+        "           run when any of the last five flags is given)\n"
         "  simr_cli stats [service] [--json]\n"
         "           [--config cpu|smt8|rpu|gpu] [--requests N]\n"
         "           [--threads N]\n"
@@ -96,6 +102,8 @@ usage()
         "           [--config rpu|gpu] [--requests N] [--qps N]\n"
         "  simr_cli anatomy social_network [--json] [--qps N]\n"
         "           [--requests N] [--mode off|sampled|all]\n"
+        "           [--servers N] [--shards N]   (drill into a\n"
+        "           cluster-scale PDES run instead of one graph)\n"
         "  simr_cli hotspots <service>|--all [--top N] [--requests N]\n"
         "           [--batch N]\n"
         "(experiment commands also take --metrics FILE)\n");
@@ -436,29 +444,96 @@ cmdSweep(int argc, char **argv)
     return dumpMetricsIfAsked(argc, argv) ? 0 : 4;
 }
 
+/** Scale the default 13-server cluster topology to ~`servers` nodes,
+ *  preserving the 4:4:2:2:1 tier ratio (every tier keeps >= 1). */
+sys::ClusterConfig
+clusterTopology(int servers)
+{
+    sys::ClusterConfig cc;
+    double f = static_cast<double>(servers) / 13.0;
+    auto scaled = [f](int per13) {
+        return std::max(1, static_cast<int>(std::lround(per13 * f)));
+    };
+    cc.webServers = scaled(4);
+    cc.userServers = scaled(4);
+    cc.mcrouterServers = scaled(2);
+    cc.memcServers = scaled(2);
+    cc.storageServers = scaled(1);
+    return cc;
+}
+
 int
 cmdCluster(int argc, char **argv)
 {
     obs::Registry reg;
     obs::Scope scope(&reg);
 
-    sys::SysConfig cfg;
-    cfg.qps = std::stod(flag(argc, argv, "--qps", "10000"));
-    cfg.rpu = has(argc, argv, "--rpu");
-    cfg.batchSplit = !has(argc, argv, "--nosplit");
-    auto r = sys::runUserScenario(cfg);
-    Table t("cluster run");
+    bool at_scale = has(argc, argv, "--servers") ||
+        has(argc, argv, "--users") || has(argc, argv, "--requests") ||
+        has(argc, argv, "--shards") || has(argc, argv, "--threads");
+
+    if (!at_scale) {
+        // Legacy single-graph run: one server per tier, closed form.
+        sys::SysConfig cfg;
+        cfg.qps = std::stod(flag(argc, argv, "--qps", "10000"));
+        cfg.rpu = has(argc, argv, "--rpu");
+        cfg.batchSplit = !has(argc, argv, "--nosplit");
+        auto r = sys::runUserScenario(cfg);
+        Table t("cluster run");
+        t.header({"metric", "value"});
+        t.row({"system", cfg.rpu ? (cfg.batchSplit ? "RPU w/ split"
+                                                   : "RPU w/o split")
+                                 : "CPU"});
+        t.row({"offered QPS", Table::num(r.offeredQps, 0)});
+        t.row({"achieved QPS", Table::num(r.achievedQps, 0)});
+        t.row({"mean latency (us)", Table::num(r.meanUs(), 0)});
+        t.row({"p99 latency (us)", Table::num(r.p99Us(), 0)});
+        Table b("per-tier breakdown");
+        b.header({"tier", "mean wait (us)", "mean service (us)"});
+        for (const auto &tier : r.tiers)
+            b.row({tier.name, Table::num(tier.waitUs.mean(), 2),
+                   Table::num(tier.serviceUs.mean(), 2)});
+        t.print();
+        b.print();
+        return dumpMetricsIfAsked(argc, argv) ? 0 : 4;
+    }
+
+    // Cluster-scale run on the sharded PDES engine.
+    sys::ClusterConfig cc =
+        clusterTopology(std::stoi(flag(argc, argv, "--servers", "13")));
+    cc.base.rpu = has(argc, argv, "--rpu");
+    cc.base.batchSplit = !has(argc, argv, "--nosplit");
+    cc.qps = std::stod(flag(argc, argv, "--qps", "100000"));
+    cc.users = std::stoull(flag(argc, argv, "--users", "20000"));
+    cc.requests = std::stoull(flag(argc, argv, "--requests", "100000"));
+    cc.shards = std::stoi(flag(argc, argv, "--shards", "0"));
+    cc.threads = std::stoi(flag(argc, argv, "--threads", "0"));
+    auto r = sys::runCluster(cc);
+
+    Table t("cluster run (PDES engine)");
     t.header({"metric", "value"});
-    t.row({"system", cfg.rpu ? (cfg.batchSplit ? "RPU w/ split"
+    t.row({"system", cc.base.rpu
+                         ? (cc.base.batchSplit ? "RPU w/ split"
                                                : "RPU w/o split")
-                             : "CPU"});
-    t.row({"offered QPS", Table::num(r.offeredQps, 0)});
-    t.row({"achieved QPS", Table::num(r.achievedQps, 0)});
-    t.row({"mean latency (us)", Table::num(r.meanUs(), 0)});
-    t.row({"p99 latency (us)", Table::num(r.p99Us(), 0)});
+                         : "CPU"});
+    t.row({"servers", std::to_string(r.servers)});
+    t.row({"users", std::to_string(cc.users)});
+    t.row({"requests", std::to_string(cc.requests)});
+    t.row({"batches", std::to_string(r.batches)});
+    t.row({"memc misses", std::to_string(r.memcMisses)});
+    t.row({"offered QPS", Table::num(r.sys.offeredQps, 0)});
+    t.row({"achieved QPS", Table::num(r.sys.achievedQps, 0)});
+    t.row({"mean latency (us)", Table::num(r.sys.meanUs(), 0)});
+    t.row({"p99 latency (us)", Table::num(r.sys.p99Us(), 0)});
+    t.row({"shards x workers",
+           std::to_string(r.pdes.shards) + " x " +
+               std::to_string(r.pdes.workers)});
+    t.row({"lookahead windows", std::to_string(r.pdes.windows)});
+    t.row({"mailbox sends", std::to_string(r.pdes.mailboxSends)});
+    t.row({"mailbox spills", std::to_string(r.pdes.mailboxOverflows)});
     Table b("per-tier breakdown");
     b.header({"tier", "mean wait (us)", "mean service (us)"});
-    for (const auto &tier : r.tiers)
+    for (const auto &tier : r.sys.tiers)
         b.row({tier.name, Table::num(tier.waitUs.mean(), 2),
                Table::num(tier.serviceUs.mean(), 2)});
     t.print();
@@ -673,6 +748,8 @@ cmdAnatomy(const std::string &target, int argc, char **argv)
     bool json = has(argc, argv, "--json");
     double qps = std::stod(flag(argc, argv, "--qps", "10000"));
     int requests = std::stoi(flag(argc, argv, "--requests", "20000"));
+    bool at_scale = has(argc, argv, "--servers") ||
+        has(argc, argv, "--shards");
     std::string mode_s = flag(argc, argv, "--mode", "");
     obs::JourneyMode mode = mode_s == "off" ? obs::JourneyMode::Off :
         mode_s == "all" ? obs::JourneyMode::All :
@@ -697,18 +774,29 @@ cmdAnatomy(const std::string &target, int argc, char **argv)
     struct SysRun { const char *name; bool rpu; };
     const SysRun runs[] = {{"cpu", false}, {"rpu", true}};
     for (size_t i = 0; i < 2; ++i) {
-        sys::SysConfig cfg;
-        cfg.qps = qps;
-        cfg.requests = requests;
-        cfg.rpu = runs[i].rpu;
         obs::JourneyRecorder rec(mode, 512);
         sys::SysResult r;
-        {
+        if (at_scale) {
+            // Drill into a sharded cluster-scale run: same journey
+            // event shape, so the decomposition works unchanged.
+            sys::ClusterConfig cc = clusterTopology(
+                std::stoi(flag(argc, argv, "--servers", "13")));
+            cc.base.rpu = runs[i].rpu;
+            cc.qps = qps;
+            cc.requests = static_cast<uint64_t>(requests);
+            cc.shards = std::stoi(flag(argc, argv, "--shards", "0"));
+            obs::Scope inner(&reg, nullptr, &rec);
+            r = sys::runCluster(cc).sys;
+        } else {
+            sys::SysConfig cfg;
+            cfg.qps = qps;
+            cfg.requests = requests;
+            cfg.rpu = runs[i].rpu;
             obs::Scope inner(&reg, nullptr, &rec);
             r = sys::runUserScenario(cfg);
         }
         auto report = obs::buildAnatomy(
-            rec.snapshot(), cfg.rpu ? &link : nullptr);
+            rec.snapshot(), runs[i].rpu ? &link : nullptr);
         obs::recordJourneyMetrics(&reg, rec, report);
         if (json) {
             page += std::string("\"") + runs[i].name + "\":" +
@@ -718,7 +806,7 @@ cmdAnatomy(const std::string &target, int argc, char **argv)
                         "(%.0f offered qps)\n", runs[i].name,
                         r.meanUs(), r.p99Us(), r.offeredQps);
             std::printf("%s", report.table(runs[i].name).c_str());
-            if (cfg.rpu)
+            if (runs[i].rpu)
                 std::printf("  chip link (user tier): divergence "
                             "%.1f%%, memory %.1f%% of service\n",
                             100.0 * link.divergenceFrac,

@@ -52,7 +52,8 @@ void informImpl(const char *fmt, ...);
     do {                                                                   \
         if (!(cond)) {                                                     \
             ::simr::detail::panicImpl(__FILE__, __LINE__,                  \
-                                      "assertion '%s' failed: " #cond,    \
+                                      "assertion '%s' failed: "           \
+                                      __VA_ARGS__,                         \
                                       #cond);                              \
         }                                                                  \
     } while (0)

@@ -28,12 +28,15 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/logging.h"
 
 namespace simr
 {
@@ -117,6 +120,136 @@ class ThreadPool
  */
 void parallelFor(size_t n, const std::function<void(size_t)> &body,
                  int threads = 0);
+
+/**
+ * Sense-reversing centralized spin barrier for a fixed party count.
+ *
+ * The PDES engine synchronizes its shard workers at every lookahead
+ * window; a condition-variable barrier would cost a syscall per window
+ * per worker, which dominates at tens of thousands of windows per run.
+ * arriveAndWait() spins briefly and then yields, so oversubscribed runs
+ * (more workers than cores) still make progress instead of burning a
+ * whole scheduling quantum per arrival.
+ *
+ * Memory ordering: everything written by a thread before it arrives is
+ * visible to every thread after the barrier releases (the generation
+ * bump is a release store observed with acquire loads), so plain data
+ * handed across a barrier needs no extra synchronization.
+ */
+class SpinBarrier
+{
+  public:
+    explicit SpinBarrier(int parties) : parties_(parties)
+    {
+        simr_assert(parties >= 1, "barrier needs >= 1 parties");
+    }
+
+    SpinBarrier(const SpinBarrier &) = delete;
+    SpinBarrier &operator=(const SpinBarrier &) = delete;
+
+    void
+    arriveAndWait()
+    {
+        if (parties_ == 1)
+            return;
+        uint64_t gen = generation_.load(std::memory_order_acquire);
+        if (count_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+            parties_) {
+            count_.store(0, std::memory_order_relaxed);
+            generation_.fetch_add(1, std::memory_order_release);
+            return;
+        }
+        int spins = 0;
+        while (generation_.load(std::memory_order_acquire) == gen) {
+            if (++spins > 128) {
+                std::this_thread::yield();
+                spins = 0;
+            }
+        }
+    }
+
+  private:
+    const int parties_;
+    alignas(64) std::atomic<int> count_{0};
+    alignas(64) std::atomic<uint64_t> generation_{0};
+};
+
+/**
+ * Bounded lock-free single-producer / single-consumer ring buffer: the
+ * cross-shard mailbox primitive of the PDES engine. push() may only be
+ * called by one thread at a time and pop() by one thread at a time
+ * (they may be different threads, concurrently). A full ring rejects
+ * the push -- callers provide their own backpressure (the PDES engine
+ * spills to a per-edge overflow vector and counts the event).
+ *
+ * The producer's release store of tail_ publishes the slot contents to
+ * the consumer's acquire load; the consumer's release store of head_
+ * returns the slot to the producer. T must be trivially copyable in
+ * spirit (it is copied in and out of slots that are reused without
+ * destruction in between).
+ */
+template <typename T>
+class SpscRing
+{
+  public:
+    /** @param capacity maximum resident elements; rounded up to a
+     *  power of two (>= 2). */
+    explicit SpscRing(size_t capacity)
+    {
+        size_t cap = 2;
+        while (cap < capacity)
+            cap <<= 1;
+        buf_.resize(cap);
+        mask_ = cap - 1;
+    }
+
+    SpscRing(const SpscRing &) = delete;
+    SpscRing &operator=(const SpscRing &) = delete;
+
+    size_t capacity() const { return buf_.size(); }
+
+    /** Producer side. Returns false (and copies nothing) when full. */
+    bool
+    push(const T &v)
+    {
+        uint64_t t = tail_.load(std::memory_order_relaxed);
+        uint64_t h = head_.load(std::memory_order_acquire);
+        if (t - h == buf_.size())
+            return false;
+        buf_[t & mask_] = v;
+        tail_.store(t + 1, std::memory_order_release);
+        return true;
+    }
+
+    /** Consumer side. Returns false when empty. */
+    bool
+    pop(T *out)
+    {
+        uint64_t h = head_.load(std::memory_order_relaxed);
+        uint64_t t = tail_.load(std::memory_order_acquire);
+        if (h == t)
+            return false;
+        *out = buf_[h & mask_];
+        head_.store(h + 1, std::memory_order_release);
+        return true;
+    }
+
+    /** Racy size estimate (exact when producer and consumer are
+     *  quiescent, e.g. between barrier-separated phases). */
+    size_t
+    size() const
+    {
+        return static_cast<size_t>(
+            tail_.load(std::memory_order_acquire) -
+            head_.load(std::memory_order_acquire));
+    }
+
+  private:
+    std::vector<T> buf_;
+    size_t mask_ = 0;
+    alignas(64) std::atomic<uint64_t> head_{0};  ///< consumer cursor
+    alignas(64) std::atomic<uint64_t> tail_{0};  ///< producer cursor
+};
 
 /**
  * Map fn over items, returning results in input order regardless of the

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Shared building blocks of the system-level simulators: the
+ * rate-and-latency service station (the per-server actor state) and
+ * the batch-formation pass, extracted from the monolithic uqsim loop
+ * so the single-graph scenario (uqsim.cc) and the sharded cluster
+ * engine (cluster.cc) model tiers with the same arithmetic.
+ */
+
+#ifndef SIMR_SYS_STATION_H
+#define SIMR_SYS_STATION_H
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/stats.h"
+#include "obs/trace.h"
+
+namespace simr::sys
+{
+
+/**
+ * A rate-and-latency service station with FIFO fluid queueing: a group
+ * of n requests occupies n/rate of capacity and observes `latency` of
+ * service time, plus whatever queueing delay the backlog causes. One
+ * Station is the whole mutable state of a simulated server node, so a
+ * cluster of thousands of servers is just a vector of these.
+ */
+class Station
+{
+  public:
+    Station(const char *name, int tid, double rate_per_us,
+            double latency_us)
+        : name_(name), tid_(tid), rate_(rate_per_us),
+          latency_(latency_us)
+    {
+        simr_assert(rate_ > 0, "station rate must be positive");
+    }
+
+    /**
+     * Serve n requests arriving at time t; returns completion time.
+     * Records queueing wait and occupancy into `wait`/`service` and,
+     * when a tracer is in scope, emits the service-occupancy span
+     * (occupancy spans never overlap, so each tier renders as one
+     * clean track).
+     */
+    double
+    process(double t, int n, RunningStat &wait, RunningStat &service,
+            obs::Tracer *tr, int pid, double *start_out = nullptr)
+    {
+        double start = std::max(t, nextFree_);
+        double occupancy = static_cast<double>(n) / rate_;
+        nextFree_ = start + occupancy;
+        wait.add(start - t);
+        service.add(occupancy);
+        if (start_out)
+            *start_out = start;
+        if (tr) {
+            tr->complete(
+                name_, "sys", start, occupancy, pid, tid_,
+                {{"n", obs::jnum(static_cast<uint64_t>(n))},
+                 {"wait_us", obs::jnum(start - t)},
+                 {"latency_us", obs::jnum(latency_)}});
+        }
+        return start + latency_;
+    }
+
+    /** Consume extra capacity (split-orphan re-execution cost). */
+    void
+    charge(double request_equivalents)
+    {
+        nextFree_ += request_equivalents / rate_;
+    }
+
+    double latencyUs() const { return latency_; }
+
+  private:
+    const char *name_;
+    int tid_;
+    double rate_;
+    double latency_;
+    double nextFree_ = 0;
+};
+
+/** One formed batch: the half-open index range [begin, end) into the
+ *  sorted arrival array it was formed from, and its emit time. */
+struct BatchWindow
+{
+    size_t begin = 0;
+    size_t end = 0;
+    double emitTime = 0;
+};
+
+/**
+ * Batch formation (size or timeout) over a time-sorted arrival array:
+ * a batch emits when it reaches `bsize` requests or when its window
+ * (opened by its first arrival, `timeout_us` wide) closes. bsize == 1
+ * degenerates to one batch per request emitting at its arrival -- the
+ * CPU systems' path. Pure function of its inputs, so the sequential
+ * and sharded engines form identical batches.
+ */
+inline std::vector<BatchWindow>
+formBatchWindows(const double *times, size_t n, int bsize,
+                 double timeout_us)
+{
+    std::vector<BatchWindow> out;
+    if (bsize <= 1) {
+        out.reserve(n);
+        for (size_t i = 0; i < n; ++i)
+            out.push_back({i, i + 1, times[i]});
+        return out;
+    }
+    for (size_t i = 0; i < n;) {
+        BatchWindow b;
+        b.begin = i;
+        double window_end = times[i] + timeout_us;
+        while (i < n && i - b.begin < static_cast<size_t>(bsize) &&
+               (i == b.begin || times[i] <= window_end)) {
+            ++i;
+        }
+        b.end = i;
+        double last = times[i - 1];
+        b.emitTime = i - b.begin == static_cast<size_t>(bsize) ?
+            last : std::min(window_end, last + timeout_us);
+        out.push_back(b);
+    }
+    return out;
+}
+
+} // namespace simr::sys
+
+#endif // SIMR_SYS_STATION_H

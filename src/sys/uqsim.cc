@@ -7,6 +7,7 @@
 #include "common/rng.h"
 #include "obs/journey.h"
 #include "obs/trace.h"
+#include "sys/station.h"
 
 namespace simr::sys
 {
@@ -25,75 +26,35 @@ enum SysTid : int {
     kTidStorage,
 };
 
-/**
- * A rate-and-latency service station with FIFO fluid queueing: a group
- * of n requests occupies n/rate of capacity and observes `latency` of
- * service time, plus whatever queueing delay the backlog causes.
- */
-class Station
-{
-  public:
-    Station(const char *name, int tid, double rate_per_us,
-            double latency_us)
-        : name_(name), tid_(tid), rate_(rate_per_us),
-          latency_(latency_us)
-    {
-        simr_assert(rate_ > 0, "station rate must be positive");
-    }
-
-    /**
-     * Serve n requests arriving at time t; returns completion time.
-     * Records queueing wait and occupancy into `stat` and, when a
-     * tracer is in scope, emits the service-occupancy span (occupancy
-     * spans never overlap, so each tier renders as one clean track).
-     */
-    double
-    process(double t, int n, TierStat &stat, obs::Tracer *tr,
-            double *start_out = nullptr)
-    {
-        double start = std::max(t, nextFree_);
-        double occupancy = static_cast<double>(n) / rate_;
-        nextFree_ = start + occupancy;
-        stat.waitUs.add(start - t);
-        stat.serviceUs.add(occupancy);
-        if (start_out)
-            *start_out = start;
-        if (tr) {
-            tr->complete(
-                name_, "sys", start, occupancy, kSysPid, tid_,
-                {{"n", obs::jnum(static_cast<uint64_t>(n))},
-                 {"wait_us", obs::jnum(start - t)},
-                 {"latency_us", obs::jnum(latency_)}});
-        }
-        return start + latency_;
-    }
-
-    /** Consume extra capacity (split-orphan re-execution cost). */
-    void
-    charge(double request_equivalents)
-    {
-        nextFree_ += request_equivalents / rate_;
-    }
-
-  private:
-    const char *name_;
-    int tid_;
-    double rate_;
-    double latency_;
-    double nextFree_ = 0;
-};
-
-struct FormedBatch
-{
-    double emitTime;
-    std::vector<double> arrivals;
-};
-
 } // namespace
+
+void
+SysConfig::validate() const
+{
+    simr_assert(qps > 0, "sys qps must be positive");
+    simr_assert(requests >= 1, "sys requests must be >= 1");
+    simr_assert(batchSize >= 1, "sys batchSize must be >= 1");
+    simr_assert(batchTimeoutUs >= 0,
+                "sys batchTimeoutUs must be non-negative");
+    simr_assert(rpuThroughputScale > 0 && rpuLatencyScale > 0,
+                "sys RPU scales must be positive");
+    simr_assert(orphanPenalty >= 1,
+                "sys orphanPenalty must be >= 1 (a capacity factor)");
+    simr_assert(webSvcUs > 0 && userSvcUs > 0 && mcrouterSvcUs > 0 &&
+                    memcSvcUs > 0 && storageSvcUs > 0,
+                "sys tier service latencies must be positive");
+    simr_assert(netUs >= 0, "sys netUs must be non-negative");
+    simr_assert(webCores >= 1 && userCores >= 1 && mcrouterCores >= 1 &&
+                    memcCores >= 1,
+                "sys tier capacities must be >= 1 core");
+    simr_assert(memcHitRate >= 0 && memcHitRate <= 1,
+                "sys memcHitRate must be a probability");
+}
 
 SysResult
 runUserScenario(const SysConfig &cfg)
 {
+    cfg.validate();
     Rng rng(cfg.seed);
     SysResult res;
     res.offeredQps = cfg.qps;
@@ -123,23 +84,8 @@ runUserScenario(const SysConfig &cfg)
     // at the logic tier (memcached epoll batching is folded into the
     // tier's service rate, as the paper configures uqsim).
     int bsize = cfg.rpu ? cfg.batchSize : 1;
-    std::vector<FormedBatch> batches;
-    for (size_t i = 0; i < arrivals.size();) {
-        FormedBatch b;
-        double window_end = arrivals[i] + cfg.batchTimeoutUs;
-        while (i < arrivals.size() &&
-               static_cast<int>(b.arrivals.size()) < bsize &&
-               (b.arrivals.empty() || arrivals[i] <= window_end)) {
-            b.arrivals.push_back(arrivals[i]);
-            ++i;
-        }
-        double last = b.arrivals.back();
-        b.emitTime = static_cast<int>(b.arrivals.size()) == bsize ?
-            last : std::min(window_end, last + cfg.batchTimeoutUs);
-        if (bsize == 1)
-            b.emitTime = last;
-        batches.push_back(std::move(b));
-    }
+    std::vector<BatchWindow> batches = formBatchWindows(
+        arrivals.data(), arrivals.size(), bsize, cfg.batchTimeoutUs);
 
     // Tier stations. The RPU system keeps the same power budget and
     // applies the chip-level findings: 5x the throughput, 1.2x the
@@ -178,12 +124,12 @@ runUserScenario(const SysConfig &cfg)
     if (jrec)
         jcur = jrec->cursor();
     for (size_t bi = 0; bi < batches.size(); ++bi) {
-        const auto &b = batches[bi];
-        int n = static_cast<int>(b.arrivals.size());
+        const BatchWindow &b = batches[bi];
+        const double *barr = arrivals.data() + b.begin;
+        int n = static_cast<int>(b.end - b.begin);
         if (tr && bsize > 1) {
             tr->complete("form batch " + std::to_string(bi), "batching",
-                         b.arrivals.front(),
-                         b.emitTime - b.arrivals.front(), kSysPid,
+                         barr[0], b.emitTime - barr[0], kSysPid,
                          kTidBatchForm,
                          {{"size", obs::jnum(
                                static_cast<uint64_t>(n))}});
@@ -191,26 +137,32 @@ runUserScenario(const SysConfig &cfg)
         if (tr) {
             for (int r = 0; r < n; ++r)
                 tr->asyncBegin("req", "request", req_idx + static_cast<uint64_t>(r),
-                               b.arrivals[static_cast<size_t>(r)],
-                               kSysPid);
+                               barr[r], kSysPid);
         }
         // Per-tier (enqueue, start, done) times of this batch, kept for
         // journey construction. Reading them never changes the math.
         double tierEnq[4], tierStart[4], tierDone[4];
         double bt = b.emitTime;
         tierEnq[0] = bt;
-        tierDone[0] = web.process(bt, n, webStat, tr, &tierStart[0]);
+        tierDone[0] = web.process(bt, n, webStat.waitUs,
+                                  webStat.serviceUs, tr, kSysPid,
+                                  &tierStart[0]);
         bt = tierDone[0] + cfg.netUs;
         tierEnq[1] = bt;
-        tierDone[1] = user.process(bt, n, userStat, tr, &tierStart[1]);
+        tierDone[1] = user.process(bt, n, userStat.waitUs,
+                                   userStat.serviceUs, tr, kSysPid,
+                                   &tierStart[1]);
         bt = tierDone[1] + cfg.netUs;
         tierEnq[2] = bt;
-        tierDone[2] =
-            mcrouter.process(bt, n, mcrouterStat, tr, &tierStart[2]);
+        tierDone[2] = mcrouter.process(bt, n, mcrouterStat.waitUs,
+                                       mcrouterStat.serviceUs, tr,
+                                       kSysPid, &tierStart[2]);
         bt = tierDone[2] + cfg.netUs;
         // Reply back to the user tier.
         tierEnq[3] = bt;
-        tierDone[3] = memc.process(bt, n, memcStat, tr, &tierStart[3]);
+        tierDone[3] = memc.process(bt, n, memcStat.waitUs,
+                                   memcStat.serviceUs, tr, kSysPid,
+                                   &tierStart[3]);
         bt = tierDone[3] + cfg.netUs;
 
         // Cache outcomes decide who must visit storage.
@@ -247,7 +199,7 @@ runUserScenario(const SysConfig &cfg)
                 // point for the storage path (Fig. 17a).
                 done = miss_done;
             }
-            double arr = b.arrivals[static_cast<size_t>(r)];
+            double arr = barr[r];
             double e2e = done - arr;
             res.e2eUs.add(e2e);
             if (tr)

@@ -65,6 +65,16 @@ struct SysConfig
     int mcrouterCores = 2;
     int memcCores = 2;
     double memcHitRate = 0.9;
+
+    /**
+     * Die loudly (simr_fatal) on configurations the model cannot mean
+     * anything for: non-positive load or tier capacities, negative
+     * latencies, an empty batch window, a hit rate outside [0, 1].
+     * Construction-time validation, same pattern as CacheConfig /
+     * MemPathConfig: every entry point (runUserScenario, runCluster)
+     * calls this before simulating.
+     */
+    void validate() const;
 };
 
 /** Per-tier latency breakdown (uqSim-style model validation view). */

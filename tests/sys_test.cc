@@ -13,6 +13,8 @@
 #include "obs/anatomy.h"
 #include "obs/journey.h"
 #include "obs/metrics.h"
+#include "sys/cluster.h"
+#include "sys/pdes.h"
 #include "sys/uqsim.h"
 
 using namespace simr;
@@ -250,4 +252,374 @@ TEST(UqsimJourneys, CaptureNeverPerturbsSysResult)
                              off.tiers[t].serviceUs.sum());
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// Construction-time validation (SysConfig / ClusterConfig): bad
+// configurations die loudly at the config boundary, before simulating.
+// ---------------------------------------------------------------------
+
+TEST(SysConfigValidation, RejectsNonsense)
+{
+    SysConfig c;
+    c.qps = 0;
+    EXPECT_DEATH(c.validate(), "qps");
+
+    c = SysConfig{};
+    c.requests = 0;
+    EXPECT_DEATH(c.validate(), "requests");
+
+    c = SysConfig{};
+    c.batchSize = 0;
+    EXPECT_DEATH(c.validate(), "batchSize");
+
+    c = SysConfig{};
+    c.netUs = -1;
+    EXPECT_DEATH(c.validate(), "netUs");
+
+    c = SysConfig{};
+    c.userCores = 0;
+    EXPECT_DEATH(c.validate(), "core");
+
+    c = SysConfig{};
+    c.memcHitRate = 1.5;
+    EXPECT_DEATH(c.validate(), "memcHitRate");
+
+    c = SysConfig{};
+    c.storageSvcUs = 0;
+    EXPECT_DEATH(c.validate(), "service latencies");
+}
+
+TEST(ClusterConfigValidation, RejectsEmptyGraphsAndBadLoad)
+{
+    ClusterConfig c;
+    c.webServers = 0;
+    EXPECT_DEATH(c.validate(), "empty graph");
+
+    c = ClusterConfig{};
+    c.storageServers = 0;
+    EXPECT_DEATH(c.validate(), "empty graph");
+
+    c = ClusterConfig{};
+    c.storageCores = 0;
+    EXPECT_DEATH(c.validate(), "storageCores");
+
+    c = ClusterConfig{};
+    c.users = 0;
+    EXPECT_DEATH(c.validate(), "users");
+
+    c = ClusterConfig{};
+    c.requests = 0;
+    EXPECT_DEATH(c.validate(), "requests");
+
+    c = ClusterConfig{};
+    c.qps = -5;
+    EXPECT_DEATH(c.validate(), "qps");
+
+    c = ClusterConfig{};
+    c.burstProb = 2;
+    EXPECT_DEATH(c.validate(), "burstProb");
+
+    c = ClusterConfig{};
+    c.mailboxCapacity = 0;
+    EXPECT_DEATH(c.validate(), "mailboxCapacity");
+
+    // A bad embedded SysConfig is caught through the same gate.
+    c = ClusterConfig{};
+    c.base.memcHitRate = -0.1;
+    EXPECT_DEATH(c.validate(), "memcHitRate");
+}
+
+// ---------------------------------------------------------------------
+// Sharded PDES cluster engine vs the sequential reference.
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+ClusterConfig
+smallCluster(bool rpu, bool split)
+{
+    ClusterConfig c;
+    c.webServers = 4;
+    c.userServers = 3;
+    c.mcrouterServers = 2;
+    c.memcServers = 2;
+    c.storageServers = 1;
+    c.users = 500;
+    c.requests = 6000;
+    c.qps = 30000;
+    c.seed = 7;
+    c.base.rpu = rpu;
+    c.base.batchSplit = split;
+    return c;
+}
+
+ClusterResult
+runSharded(ClusterConfig cfg, int shards, int threads)
+{
+    cfg.shards = shards;
+    cfg.threads = threads;
+    obs::Registry reg;
+    obs::Scope scope(&reg);
+    return runCluster(cfg);
+}
+
+ClusterResult
+runClusterSequentialInScope(const ClusterConfig &cfg)
+{
+    obs::Registry reg;
+    obs::Scope scope(&reg);
+    return runClusterSequential(cfg);
+}
+
+/** Bit-identity over everything the cluster scenario reports
+ *  (pdes stats excluded: they describe the engine, not the model). */
+void
+expectSameCluster(const ClusterResult &a, const ClusterResult &b)
+{
+    EXPECT_EQ(a.servers, b.servers);
+    EXPECT_EQ(a.batches, b.batches);
+    EXPECT_EQ(a.memcMisses, b.memcMisses);
+    EXPECT_EQ(a.splitOrphans, b.splitOrphans);
+    EXPECT_EQ(a.sys.offeredQps, b.sys.offeredQps);
+    EXPECT_EQ(a.sys.achievedQps, b.sys.achievedQps);
+    EXPECT_TRUE(a.sys.e2eUs.identicalTo(b.sys.e2eUs));
+    ASSERT_EQ(a.sys.tiers.size(), b.sys.tiers.size());
+    for (size_t t = 0; t < a.sys.tiers.size(); ++t) {
+        SCOPED_TRACE("tier " + a.sys.tiers[t].name);
+        const RunningStat &aw = a.sys.tiers[t].waitUs;
+        const RunningStat &bw = b.sys.tiers[t].waitUs;
+        EXPECT_EQ(a.sys.tiers[t].name, b.sys.tiers[t].name);
+        EXPECT_EQ(aw.count(), bw.count());
+        EXPECT_EQ(aw.sum(), bw.sum());
+        EXPECT_EQ(aw.mean(), bw.mean());
+        EXPECT_EQ(aw.min(), bw.min());
+        EXPECT_EQ(aw.max(), bw.max());
+        EXPECT_EQ(aw.variance(), bw.variance());
+        const RunningStat &as = a.sys.tiers[t].serviceUs;
+        const RunningStat &bs = b.sys.tiers[t].serviceUs;
+        EXPECT_EQ(as.count(), bs.count());
+        EXPECT_EQ(as.sum(), bs.sum());
+        EXPECT_EQ(as.variance(), bs.variance());
+    }
+}
+
+} // namespace
+
+TEST(ClusterPdes, ShardAndThreadCountIndependence)
+{
+    // The regression companion of ctest's sys_pdes_gate: SysResult --
+    // including every per-tier statistic, which is merged across
+    // shards in node order -- must not depend on how the cluster is
+    // sharded or how many workers drive it.
+    for (bool rpu : {false, true}) {
+        SCOPED_TRACE(rpu ? "rpu" : "cpu");
+        ClusterResult ref =
+            runClusterSequentialInScope(smallCluster(rpu, true));
+        for (int shards : {1, 2, 8, 16})
+            for (int threads : {1, 4}) {
+                SCOPED_TRACE(std::to_string(shards) + " shards, " +
+                             std::to_string(threads) + " threads");
+                expectSameCluster(
+                    ref, runSharded(smallCluster(rpu, true), shards,
+                                    threads));
+            }
+    }
+}
+
+TEST(ClusterPdes, ZeroLookaheadDegeneratesToSequential)
+{
+    // netUs == 0 admits no conservative window: the engine must fall
+    // back to the sequential single-shard loop (bit-identically, by
+    // construction) rather than parallelize incorrectly.
+    ClusterConfig cfg = smallCluster(true, true);
+    cfg.base.netUs = 0;
+    ClusterResult ref = runClusterSequentialInScope(cfg);
+    ClusterResult r = runSharded(cfg, 8, 4);
+    EXPECT_EQ(r.pdes.shards, 1);
+    EXPECT_EQ(r.pdes.workers, 1);
+    EXPECT_EQ(r.pdes.mailboxSends, 0u);
+    expectSameCluster(ref, r);
+}
+
+TEST(ClusterPdes, MailboxOverflowBackpressureIsInvisible)
+{
+    // A one-slot mailbox must overflow into the spill path under any
+    // real cross-shard traffic -- and the spill must change nothing
+    // but the transport diagnostics.
+    ClusterConfig cfg = smallCluster(true, true);
+    cfg.mailboxCapacity = 1;
+    ClusterResult ref = runClusterSequentialInScope(cfg);
+    ClusterResult r = runSharded(cfg, 16, 4);
+    EXPECT_GT(r.pdes.mailboxSends, 0u);
+    EXPECT_GT(r.pdes.mailboxOverflows, 0u);
+    expectSameCluster(ref, r);
+}
+
+namespace
+{
+
+/**
+ * Toy PDES model for kernel edge cases: `origins` tokens hop around a
+ * ring of nodes, each hop exactly one lookahead L later. With zero
+ * service latency every cross-shard event lands EXACTLY on its source
+ * window's end -- the boundary the conservative contract (>=, strict <
+ * on processing) must handle. Each node logs its (time, key) sequence.
+ */
+struct ChainModel : sys::Model
+{
+    uint32_t nnodes;
+    double net;
+    std::vector<std::vector<std::pair<double, uint64_t>>> log;
+
+    ChainModel(uint32_t n, double l) : nnodes(n), net(l), log(n) {}
+
+    uint32_t nodeCount() const override { return nnodes; }
+    void prepare(int, int) override {}
+
+    void
+    apply(const sys::Event &ev, sys::EventSink &sink, int) override
+    {
+        log[ev.node].push_back({ev.time, ev.key});
+        if (ev.aux == 0)
+            return;
+        sink.emit({ev.time + net, ev.key + 1,
+                   (ev.node + 1) % nnodes, 0, ev.batch, ev.aux - 1});
+    }
+};
+
+} // namespace
+
+TEST(ClusterPdes, CrossShardEventExactlyAtWindowBoundary)
+{
+    // 16 tokens x 12 hops on an 8-node ring, every hop landing exactly
+    // at the emitting window's end. The sharded runs must log the very
+    // same per-node (time, key) sequences as the sequential one, and
+    // conservative windowing must advance exactly one time step per
+    // window (hops + 1 windows: nothing is processed early, nothing
+    // is starved).
+    const uint32_t nodes = 8;
+    const uint64_t origins = 16, hops = 12;
+    const double net = 5.0;
+    auto initial = [&] {
+        std::vector<sys::Event> evs;
+        for (uint64_t o = 0; o < origins; ++o)
+            evs.push_back({0.0, o * (hops + 1),
+                           static_cast<uint32_t>(o % nodes), 0, o,
+                           hops});
+        return evs;
+    };
+
+    ChainModel ref(nodes, net);
+    sys::PdesConfig seq;
+    seq.lookaheadUs = net;
+    sys::PdesStats seq_stats = sys::runPdes(ref, initial(), seq);
+    EXPECT_EQ(seq_stats.events, origins * (hops + 1));
+
+    for (int shards : {2, 4, 8})
+        for (int threads : {1, 3}) {
+            SCOPED_TRACE(std::to_string(shards) + " shards, " +
+                         std::to_string(threads) + " threads");
+            ChainModel m(nodes, net);
+            sys::PdesConfig pc;
+            pc.lookaheadUs = net;
+            pc.shards = shards;
+            pc.threads = threads;
+            pc.mailboxCapacity = 4;
+            sys::PdesStats st = sys::runPdes(m, initial(), pc);
+            EXPECT_EQ(st.events, origins * (hops + 1));
+            EXPECT_EQ(st.windows, hops + 1);
+            EXPECT_GT(st.mailboxSends, 0u);
+            EXPECT_EQ(m.log, ref.log);
+        }
+}
+
+// ---------------------------------------------------------------------
+// Journey capture at cluster scale.
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+ClusterResult
+runClusterWithJourneys(ClusterConfig cfg, int shards, int threads,
+                       obs::JourneyRecorder *rec)
+{
+    cfg.shards = shards;
+    cfg.threads = threads;
+    obs::Registry reg;
+    obs::Scope scope(&reg, nullptr, rec);
+    return runCluster(cfg);
+}
+
+} // namespace
+
+TEST(ClusterJourneys, FlagsAndExactDecompositionAcrossShards)
+{
+    // Full capture on the sharded engine: every request journeys, the
+    // per-bucket decomposition telescopes exactly, and the flags match
+    // the scenario (split RPU: misses are storage-visiting orphans).
+    ClusterConfig cfg = smallCluster(true, true);
+    cfg.requests = 3000;
+    obs::JourneyRecorder rec(obs::JourneyMode::All, 64);
+    runClusterWithJourneys(cfg, 8, 4, &rec);
+    EXPECT_EQ(rec.seen(), cfg.requests);
+    EXPECT_EQ(rec.kept(), cfg.requests);
+    auto journeys = rec.snapshot();
+    ASSERT_EQ(journeys.size(), cfg.requests);
+    size_t misses = 0;
+    for (size_t i = 0; i < journeys.size(); ++i) {
+        const obs::Journey &j = journeys[i];
+        EXPECT_EQ(j.reqId, i);
+        ASSERT_GE(j.events.size(), 2u);
+        EXPECT_EQ(j.events.front().kind, obs::JStage::Arrival);
+        EXPECT_EQ(j.events.back().kind, obs::JStage::Completion);
+        for (size_t k = 1; k < j.events.size(); ++k)
+            EXPECT_GE(j.events[k].tick, j.events[k - 1].tick)
+                << "req " << j.reqId << " event " << k;
+        obs::RequestAnatomy a = obs::decompose(j);
+        EXPECT_EQ(a.sumTicks(), a.e2eTicks) << "req " << j.reqId;
+        bool storage = false;
+        for (const auto &e : j.events)
+            if (e.kind == obs::JStage::TierStart && e.tier == 4)
+                storage = true;
+        EXPECT_EQ(storage, j.miss) << "req " << j.reqId;
+        EXPECT_EQ(j.orphan, j.miss) << "req " << j.reqId;
+        EXPECT_FALSE(j.blockedOnBatch) << "req " << j.reqId;
+        misses += j.miss;
+    }
+    EXPECT_GT(misses, 0u);
+
+    // Unsplit RPU: hits in mixed batches stall at the reconvergence
+    // point, flagged as foreign-caused ReconvJoin segments.
+    ClusterConfig nosplit = smallCluster(true, false);
+    nosplit.requests = 3000;
+    obs::JourneyRecorder rec2(obs::JourneyMode::All, 64);
+    runClusterWithJourneys(nosplit, 8, 4, &rec2);
+    size_t blocked = 0;
+    for (const auto &j : rec2.snapshot()) {
+        if (!j.blockedOnBatch)
+            continue;
+        ++blocked;
+        EXPECT_FALSE(j.miss) << "req " << j.reqId;
+        bool foreign_join = false;
+        for (const auto &e : j.events)
+            if (e.kind == obs::JStage::ReconvJoin && e.foreign)
+                foreign_join = true;
+        EXPECT_TRUE(foreign_join) << "req " << j.reqId;
+    }
+    EXPECT_GT(blocked, 0u);
+}
+
+TEST(ClusterJourneys, CaptureNeverPerturbsClusterResult)
+{
+    // Journey capture is read-only at cluster scale too: full capture
+    // on the sharded engine reports the same bits as the sequential
+    // reference with no recorder at all.
+    ClusterConfig cfg = smallCluster(true, true);
+    ClusterResult off = runClusterSequentialInScope(cfg);
+    obs::JourneyRecorder rec(obs::JourneyMode::All, 64);
+    ClusterResult full = runClusterWithJourneys(cfg, 8, 4, &rec);
+    expectSameCluster(off, full);
 }
